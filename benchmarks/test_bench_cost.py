@@ -1,0 +1,63 @@
+"""The Section 6 cost claim, quantified.
+
+"Note that the cost of these architectures is similar, except the Ideal
+architecture" -- this bench regenerates that comparison as numbers: the
+comparator work each architecture performs per forwarded packet under
+the Table 1 mix, plus the static per-port hardware each one implies.
+The deployable designs (Traditional/Simple/Advanced) pay zero to a few
+O(1) tag comparisons per packet; Ideal needs content-sorted buffers
+whose work grows with occupancy -- the reason the paper calls it
+unimplementable at high link rates and radix.
+"""
+
+from __future__ import annotations
+
+from conftest import TIME_SCALE
+from repro.analysis import measure_scheduling_cost
+from repro.core.architectures import ARCHITECTURES
+from repro.experiments.config import scaled_video_mix
+from repro.experiments.presets import make_topology
+from repro.sim import units
+from repro.stats.report import format_table
+
+ORDER = ("traditional-2vc", "simple-2vc", "advanced-2vc", "ideal")
+
+
+def test_bench_scheduling_cost(benchmark, bench_topology, bench_seed):
+    topology = make_topology(bench_topology)
+
+    def measure_all():
+        return {
+            name: measure_scheduling_cost(
+                ARCHITECTURES[name],
+                topology=make_topology(bench_topology),
+                seed=bench_seed,
+                horizon_ns=600 * units.US,
+                mix_config=scaled_video_mix(1.0, TIME_SCALE),
+            )
+            for name in ORDER
+        }
+
+    reports = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            [
+                "architecture",
+                "packets",
+                "comparisons/pkt",
+                "FIFO mems/port",
+                "sorting HW",
+                "arbiter comparators",
+            ],
+            [reports[name].row() for name in ORDER],
+            title="Scheduling cost under the Table 1 mix at full load",
+        )
+    )
+    cost = {name: reports[name].comparisons_per_packet for name in ORDER}
+    # The paper's cost ordering, and the implementability gap to Ideal.
+    assert cost["traditional-2vc"] == 0.0
+    assert cost["traditional-2vc"] < cost["simple-2vc"] < cost["advanced-2vc"]
+    assert cost["ideal"] > cost["advanced-2vc"]
+    assert reports["ideal"].inventory.needs_sorting_hardware
+    assert not reports["advanced-2vc"].inventory.needs_sorting_hardware

@@ -1,0 +1,70 @@
+"""Figure 4: throughput of the two best-effort classes.
+
+Regenerates the two panels (best-effort and background delivered
+throughput vs input load) and asserts the figure's point: the EDF-based
+architectures differentiate the two classes according to their
+deadline-generation weights (2:1 here), while under Traditional 2 VCs
+"both classes look the same ... and receive the same performance".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import LOADS, MEASURE_NS, TIME_SCALE, WARMUP_NS
+from repro.experiments.config import scaled_video_mix
+from repro.experiments.figures import DEFAULT_ARCHS, fig4_best_effort
+
+
+@pytest.fixture(scope="module")
+def results(standard_sweep):
+    return standard_sweep
+
+
+def test_bench_fig4_best_effort_throughput(benchmark, results):
+    series = benchmark.pedantic(
+        fig4_best_effort,
+        args=(DEFAULT_ARCHS, LOADS),
+        kwargs=dict(results=results),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(series.text())
+
+    def ratio(arch, load):
+        result = results[(arch, load)]
+        return result.throughput("best-effort") / result.throughput("background")
+
+    top = max(LOADS)
+    # EDF architectures: measurable differentiation at saturation.
+    for arch in ("ideal", "simple-2vc", "advanced-2vc"):
+        assert ratio(arch, top) > 1.15, arch
+    # Traditional: the classes are indistinguishable.
+    assert ratio("traditional-2vc", top) == pytest.approx(1.0, abs=0.25)
+
+    # At light load everyone delivers what they offer (no differentiation
+    # needed): curves start together, which is the left edge of the figure.
+    light = min(LOADS)
+    for arch in DEFAULT_ARCHS:
+        result = results[(arch, light)]
+        assert result.normalized_throughput("best-effort") > 0.7
+        assert result.normalized_throughput("background") > 0.7
+
+
+def test_bench_fig4_regulated_unharmed(benchmark, results):
+    """The flip side the figure implies: letting best-effort fight for
+    leftovers never hurts the admitted classes."""
+
+    def regulated_norms():
+        return {
+            arch: results[(arch, max(LOADS))].normalized_throughput("multimedia")
+            for arch in DEFAULT_ARCHS
+        }
+
+    norms = benchmark.pedantic(regulated_norms, rounds=1, iterations=1)
+    print()
+    for arch, norm in norms.items():
+        print(f"  {arch:<16} multimedia delivered/offered = {norm:.3f}")
+    for arch, norm in norms.items():
+        assert norm > 0.75, arch

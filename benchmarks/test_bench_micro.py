@@ -1,0 +1,109 @@
+"""Microbenchmarks of the hot substrate components.
+
+Not a paper artifact -- these time the pieces every experiment is built
+from, so simulator-performance regressions are visible in isolation:
+
+- event kernel dispatch rate,
+- push/pop throughput of the three buffer structures (the FIFO-vs-heap
+  cost gap is the paper's implementability argument in microseconds),
+- deadline stamping rate,
+- up*/down* route enumeration over the paper-size MIN.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.deadline import RateBasedStamper
+from repro.core.queues import EDFHeapQueue, FifoQueue, TakeOverQueue
+from repro.network.routing import RoutingTable
+from repro.network.topology import paper_topology
+from repro.network.packet import Packet
+from repro.sim.engine import Engine
+
+
+def mkpkt(deadline: int, *, size: int = 256) -> Packet:
+    return Packet(
+        flow_id=1, seq=0, src=0, dst=1, size=size, vc=0,
+        tclass="bench", deadline=deadline,
+    )
+
+N_EVENTS = 50_000
+N_PACKETS = 20_000
+
+
+def test_bench_engine_dispatch(benchmark):
+    def run_events():
+        engine = Engine()
+
+        def chain(remaining):
+            if remaining:
+                engine.after(1, chain, remaining - 1)
+
+        engine.at(0, chain, N_EVENTS)
+        engine.run_all()
+        return engine.events_executed
+
+    executed = benchmark(run_events)
+    assert executed == N_EVENTS + 1
+
+
+def _queue_workload(queue_cls):
+    rng = random.Random(42)
+    packets = [mkpkt(rng.randrange(1_000_000)) for _ in range(N_PACKETS)]
+
+    def run():
+        queue = queue_cls()
+        out = 0
+        for i, pkt in enumerate(packets):
+            queue.push(pkt)
+            if i % 3 == 2:  # interleave drains: realistic switch pattern
+                queue.pop()
+                out += 1
+        while queue:
+            queue.pop()
+            out += 1
+        return out
+
+    return run
+
+
+def test_bench_queue_fifo(benchmark):
+    assert benchmark(_queue_workload(FifoQueue)) == N_PACKETS
+
+
+def test_bench_queue_takeover(benchmark):
+    assert benchmark(_queue_workload(TakeOverQueue)) == N_PACKETS
+
+
+def test_bench_queue_edf_heap(benchmark):
+    assert benchmark(_queue_workload(EDFHeapQueue)) == N_PACKETS
+
+
+def test_bench_deadline_stamping(benchmark):
+    def stamp_many():
+        stamper = RateBasedStamper(0.25)
+        now = 0
+        for i in range(N_PACKETS):
+            now += 100
+            stamper.stamp(now, 2048)
+        return stamper.last_deadline
+
+    assert benchmark(stamp_many) > 0
+
+
+def test_bench_routing_paper_topology(benchmark):
+    """Enumerate all candidate paths from one host to every other host of
+    the 128-endpoint network (what admission does per flow setup)."""
+    topo = paper_topology()
+
+    def enumerate_paths():
+        table = RoutingTable(topo)
+        count = 0
+        for dst in range(1, topo.n_hosts):
+            count += len(table.candidates(0, dst))
+        return count
+
+    count = benchmark(enumerate_paths)
+    # 7 same-leaf destinations with 1 path, 120 cross-leaf with 8 paths.
+    assert count == 7 * 1 + 120 * 8

@@ -1,0 +1,84 @@
+"""Table 1: the injected workload itself.
+
+Regenerates the paper's Table 1 as measured output: per class, the
+bandwidth share actually generated, the application frame-size range
+observed, and the note-worthy property (latency-critical, MPEG-like,
+self-similar).  The benchmark times workload generation + injection on
+an otherwise idle engine, which is the fixed cost every experiment pays.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import TIME_SCALE
+from repro.core.architectures import ARCHITECTURES
+from repro.experiments.config import scaled_video_mix
+from repro.experiments.presets import make_topology
+from repro.network.fabric import Fabric
+from repro.sim import units
+from repro.sim.rng import RandomStreams
+from repro.stats.report import format_table
+from repro.traffic.mix import CLASS_NAMES, build_mix
+
+
+def generate_workload(topology_name: str, seed: int, horizon_ns: int):
+    fabric = Fabric(make_topology(topology_name), ARCHITECTURES["advanced-2vc"])
+    mix = build_mix(fabric, RandomStreams(seed), scaled_video_mix(1.0, TIME_SCALE))
+    sizes: dict[str, list[int]] = {name: [] for name in CLASS_NAMES}
+
+    original_submit = fabric.submit
+
+    def recording_submit(flow, nbytes):
+        sizes[flow.spec.tclass].append(nbytes)
+        original_submit(flow, nbytes)
+
+    fabric.submit = recording_submit  # type: ignore[assignment]
+    mix.start()
+    fabric.run(until=horizon_ns)
+    return fabric, mix, sizes
+
+
+def test_bench_table1_traffic_mix(benchmark, bench_topology, bench_seed):
+    horizon = 2_000 * units.US
+    fabric, mix, sizes = benchmark.pedantic(
+        generate_workload,
+        args=(bench_topology, bench_seed, horizon),
+        rounds=1,
+        iterations=1,
+    )
+    n_hosts = fabric.topology.n_hosts
+    link_bw = fabric.params.bytes_per_ns
+    rows = []
+    notes = {
+        "control": "small control messages",
+        "multimedia": f"GoP MPEG-like streams (time-scale {TIME_SCALE})",
+        "best-effort": "self-similar, Pareto sizes",
+        "background": "self-similar, Pareto sizes",
+    }
+    for name in CLASS_NAMES:
+        offered = mix.offered_bytes(name) / horizon / n_hosts / link_bw
+        observed = sizes[name]
+        rows.append(
+            [
+                name,
+                f"{offered:.1%}",
+                f"[{min(observed)} B, {max(observed) / 1024:.0f} KB]",
+                notes[name],
+            ]
+        )
+        # Table 1: every class carries 25% of the bandwidth.
+        assert offered == pytest.approx(0.25, rel=0.15), name
+    print()
+    print(
+        format_table(
+            ["Name", "% BW (measured)", "application frame", "Notes"],
+            rows,
+            title="Table 1 -- Traffic injected per host (regenerated)",
+        )
+    )
+    # Frame-size ranges from Table 1.
+    assert max(sizes["control"]) <= 2048
+    assert min(sizes["control"]) >= 128
+    assert max(sizes["multimedia"]) <= 122_880
+    assert max(sizes["best-effort"]) <= 102_400

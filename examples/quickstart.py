@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: build a network, open flows, send traffic, read QoS metrics.
+
+This walks the public API end to end in ~60 lines:
+
+1. build the paper's folded-MIN topology (scaled to 32 hosts here);
+2. wire it into a fabric running the *Advanced 2 VCs* architecture
+   (the paper's proposal: ordered + take-over FIFO pair, EDF heads);
+3. open three flows -- a latency-critical control flow, a reserved
+   video stream, and a best-effort bulk flow;
+4. push messages through them and print what each flow experienced.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ADVANCED_2VC, Fabric, build_folded_shuffle_min
+from repro.core.flow import FlowKind
+from repro.sim import units
+
+# 1. Topology: 8 leaf switches x 4 hosts, 4 spines (full bisection).
+topology = build_folded_shuffle_min(n_leaves=8, hosts_per_leaf=4, n_spines=4)
+
+# 2. Fabric with the paper's default hardware parameters: 8 Gb/s links,
+#    2 KB MTU, 8 KB buffer per VC, 2 virtual channels.
+fabric = Fabric(topology, ADVANCED_2VC)
+
+# 3. Flows.  Admission control reserves bandwidth for regulated flows and
+#    fixes every flow's route (load-balanced over the spines).
+control = fabric.open_flow(0, 17, "control", kind=FlowKind.CONTROL)
+video = fabric.open_flow(
+    0,
+    9,
+    "multimedia",
+    kind=FlowKind.FRAME,
+    bw_bytes_per_ns=0.003,  # 3 MB/s reserved average rate
+    target_latency_ns=10 * units.MS,  # every frame lands ~10 ms after submit
+    smoothing=True,  # eligible-time pacing
+)
+bulk = fabric.open_flow(0, 25, "best-effort", bw_bytes_per_ns=0.05)
+
+# 4. Traffic: record every delivery, then submit a few messages.
+deliveries = []
+fabric.subscribe_delivery(lambda pkt, now: deliveries.append((pkt, now)))
+
+fabric.submit(control, 256)  # one small control message
+fabric.submit(video, 80_000)  # one 80 KB video frame -> 40 packets
+fabric.submit(bulk, 200_000)  # 200 KB bulk transfer
+
+fabric.run(until=20 * units.MS)
+
+# 5. Report.
+print(f"{len(deliveries)} packets delivered\n")
+for flow, label in [(control, "control"), (video, "video frame"), (bulk, "bulk")]:
+    packets = [(p, t) for p, t in deliveries if p.flow_id == flow.spec.flow_id]
+    first = packets[0][0]
+    done = max(t for _, t in packets)
+    print(
+        f"{label:<12} {len(packets):>3} packets, "
+        f"message latency {units.ns_to_us(done - first.birth):9.1f} us "
+        f"(deadline tag of first packet: {units.ns_to_us(first.deadline):9.1f} us)"
+    )
+
+print(
+    "\nNote how the video frame completes almost exactly at its 10 ms target:"
+    "\nframe-based deadline stamping spreads its 40 packets over the window,"
+    "\nwhile the control message (deadline ~ now + wire time) cut ahead of"
+    "\neverything, and bulk best-effort used whatever was left."
+)

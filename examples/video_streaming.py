@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Why frame-based deadlines?  (Section 3.1's multimedia argument.)
+
+The paper argues that stamping video with a plain rate-based virtual
+clock is wrong twice over: using the *average* rate adds huge delays to
+big frames, and using the *peak* rate makes frame latency depend on
+frame size.  Its fix: pick a target latency per frame and advance the
+clock by ``target / parts`` per packet, so every frame -- tiny B frame or
+huge I frame -- completes ~target after it was produced.
+
+This example streams the same GoP-structured video three ways over an
+otherwise idle fabric and prints per-frame latency.  Watch the
+*variation* column.
+
+Run:  python examples/video_streaming.py
+"""
+
+import random
+
+from repro import ADVANCED_2VC, Fabric, build_folded_shuffle_min
+from repro.core.flow import FlowKind
+from repro.sim import units
+from repro.stats.running import RunningStats
+from repro.traffic.distributions import GopFrameSizes
+
+FPS = 25.0
+FRAME_PERIOD = round(units.S / FPS)
+TARGET = 10 * units.MS
+AVG_RATE = 1.5e6 / units.S  # 1.5 MB/s average
+PEAK_RATE = 120 * 1024 / FRAME_PERIOD  # rate that fits the biggest frame
+N_FRAMES = 48
+
+
+def stream(kind: str, **flow_kwargs):
+    """Send N_FRAMES GoP frames on a fresh fabric; return frame latencies."""
+    fabric = Fabric(build_folded_shuffle_min(4, 4, 4), ADVANCED_2VC)
+    flow = fabric.open_flow(0, 9, "multimedia", kind=kind, smoothing=True, **flow_kwargs)
+
+    frame_done = {}
+    fabric.subscribe_delivery(
+        lambda pkt, now: frame_done.__setitem__(pkt.msg_id, now - pkt.birth)
+    )
+
+    sizes = GopFrameSizes(AVG_RATE * FRAME_PERIOD, sigma=0.2)
+    rng = random.Random(7)
+
+    def send_frame(remaining):
+        fabric.submit(flow, sizes.next_frame(rng))
+        if remaining > 1:
+            fabric.engine.after(FRAME_PERIOD, send_frame, remaining - 1)
+
+    fabric.engine.at(0, send_frame, N_FRAMES)
+    fabric.run(until=(N_FRAMES + 8) * FRAME_PERIOD)
+    return list(frame_done.values())
+
+
+def report(label, latencies):
+    stats = RunningStats()
+    for lat in latencies:
+        stats.add(lat)
+    print(
+        f"{label:<28} mean {units.ns_to_ms(stats.mean):7.2f} ms   "
+        f"min {units.ns_to_ms(stats.min):7.2f}   max {units.ns_to_ms(stats.max):7.2f}   "
+        f"spread {units.ns_to_ms(stats.max - stats.min):6.2f} ms"
+    )
+
+
+print(f"{N_FRAMES} GoP video frames (1-120 KB), one per 40 ms, three stamping policies:\n")
+
+# 1. The paper's frame-based rule: deadline advances by target/parts.
+report(
+    "frame-based (paper, 10ms)",
+    stream(FlowKind.FRAME, bw_bytes_per_ns=AVG_RATE, target_latency_ns=TARGET),
+)
+
+# 2. Rate-based at the stream's *average* bandwidth: big frames blow
+#    through the average and queue up behind their own virtual clock.
+report(
+    "rate-based @ average BW",
+    stream(FlowKind.RATE, bw_bytes_per_ns=AVG_RATE),
+)
+
+# 3. Rate-based at the *peak* bandwidth: latency now tracks frame size
+#    (small frames fly, big frames take ~40 ms), i.e. maximal jitter.
+report(
+    "rate-based @ peak BW",
+    stream(FlowKind.RATE, bw_bytes_per_ns=PEAK_RATE),
+)
+
+print(
+    "\nThe frame-based policy pins every frame near the 10 ms target"
+    "\n(small spread = low jitter); average-BW stamping penalizes large"
+    "\nframes enormously, and peak-BW stamping makes latency follow frame"
+    "\nsize -- exactly the two failure modes Section 3.1 describes."
+)

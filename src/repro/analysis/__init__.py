@@ -1,0 +1,32 @@
+"""Analysis tools that quantify the paper's *cost* claims.
+
+The paper's Section 6 argues the FIFO-based proposals cost roughly the
+same silicon as a conventional two-VC switch, while the Ideal heap
+buffer is "unfeasible".  :mod:`repro.analysis.cost` turns that argument
+into numbers: it instruments the queue structures and arbiters, runs the
+workload, and reports comparator operations per forwarded packet plus a
+static hardware inventory per architecture.
+"""
+
+from repro.analysis.breakdown import ClassBreakdown, LatencyBreakdown
+from repro.analysis.utilization import LinkLoad, UtilizationReport, measure_utilization
+from repro.analysis.cost import (
+    CostReport,
+    HardwareInventory,
+    instrument_architecture,
+    measure_scheduling_cost,
+    static_inventory,
+)
+
+__all__ = [
+    "ClassBreakdown",
+    "CostReport",
+    "HardwareInventory",
+    "LatencyBreakdown",
+    "LinkLoad",
+    "UtilizationReport",
+    "instrument_architecture",
+    "measure_scheduling_cost",
+    "measure_utilization",
+    "static_inventory",
+]

@@ -1,0 +1,303 @@
+"""Command-line interface: ``repro-qos`` (or ``python -m repro``).
+
+Subcommands:
+
+- ``run``       -- one simulation (architecture x load x topology), print the
+                   per-class QoS summary (``--json`` for machine-readable).
+- ``figure``    -- regenerate one of the paper's figures (fig2 / fig3 / fig4)
+                   as a text table + CDF series; ``--out fig.csv|fig.json``
+                   exports the series.
+- ``claims``    -- print the headline order-error penalties vs Ideal.
+- ``cost``      -- the Section 6 cost comparison: comparator operations per
+                   forwarded packet and static hardware per architecture.
+- ``replicate`` -- run one configuration across several seeds and print
+                   means with 95% confidence intervals.
+- ``utilization`` -- run the mix and print the hottest links, per-tier
+                   loads, and the spine-layer fairness index.
+- ``list``      -- enumerate architectures and topology presets.
+
+Examples::
+
+    repro-qos run --arch advanced-2vc --load 0.8 --topology small
+    repro-qos figure fig2 --loads 0.4 0.8 1.0 --topology tiny --out fig2.csv
+    repro-qos claims --load 1.0
+    repro-qos replicate --arch simple-2vc --seeds 1 2 3 4 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.architectures import ARCHITECTURES
+from repro.experiments.config import ExperimentConfig, scaled_video_mix
+from repro.experiments.figures import (
+    DEFAULT_ARCHS,
+    fig2_control,
+    fig3_video,
+    fig4_best_effort,
+    order_error_penalties,
+)
+from repro.experiments.presets import TOPOLOGY_PRESETS
+from repro.experiments.runner import run_experiment
+from repro.sim import units
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-qos",
+        description="Deadline-based QoS for high-performance networks (IPPS 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--topology",
+            default="small",
+            choices=sorted(TOPOLOGY_PRESETS),
+            help="network scale preset (default: small; 'paper' = 128 endpoints)",
+        )
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument(
+            "--warmup-us", type=float, default=400.0, help="warm-up window (microseconds)"
+        )
+        p.add_argument(
+            "--measure-us",
+            type=float,
+            default=1500.0,
+            help="measurement window (microseconds)",
+        )
+        p.add_argument(
+            "--time-scale",
+            type=float,
+            default=0.02,
+            help="video time compression (1.0 = paper's real 25 fps / 10 ms target)",
+        )
+
+    run_p = sub.add_parser("run", help="run one simulation and print per-class QoS")
+    run_p.add_argument("--arch", default="advanced-2vc", choices=sorted(ARCHITECTURES))
+    run_p.add_argument("--load", type=float, default=1.0)
+    run_p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    common(run_p)
+
+    fig_p = sub.add_parser("figure", help="regenerate a figure from the paper")
+    fig_p.add_argument("figure", choices=["fig2", "fig3", "fig4"])
+    fig_p.add_argument(
+        "--loads", type=float, nargs="+", default=[0.2, 0.4, 0.6, 0.8, 1.0]
+    )
+    fig_p.add_argument(
+        "--archs", nargs="+", default=list(DEFAULT_ARCHS), choices=sorted(ARCHITECTURES)
+    )
+    fig_p.add_argument(
+        "--out", default=None, help="also export the series (.csv or .json)"
+    )
+    common(fig_p)
+
+    claims_p = sub.add_parser(
+        "claims", help="order-error latency penalties vs the Ideal architecture"
+    )
+    claims_p.add_argument("--load", type=float, default=1.0)
+    common(claims_p)
+
+    cost_p = sub.add_parser(
+        "cost", help="comparator work and hardware per architecture (Section 6)"
+    )
+    cost_p.add_argument("--load", type=float, default=1.0)
+    common(cost_p)
+
+    rep_p = sub.add_parser(
+        "replicate", help="one configuration across seeds, with 95% CIs"
+    )
+    rep_p.add_argument("--arch", default="advanced-2vc", choices=sorted(ARCHITECTURES))
+    rep_p.add_argument("--load", type=float, default=1.0)
+    rep_p.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    common(rep_p)
+
+    util_p = sub.add_parser(
+        "utilization", help="link loads, hotspots, and spine fairness"
+    )
+    util_p.add_argument("--arch", default="advanced-2vc", choices=sorted(ARCHITECTURES))
+    util_p.add_argument("--load", type=float, default=1.0)
+    util_p.add_argument("--hotspots", type=int, default=8)
+    common(util_p)
+
+    sub.add_parser("list", help="list architectures and topology presets")
+    return parser
+
+
+def _config_from(args: argparse.Namespace, *, arch: str, load: float) -> ExperimentConfig:
+    return ExperimentConfig(
+        architecture=arch,
+        load=load,
+        seed=args.seed,
+        topology=args.topology,
+        warmup_ns=round(args.warmup_us * units.US),
+        measure_ns=round(args.measure_us * units.US),
+        mix=scaled_video_mix(load, args.time_scale),
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(_config_from(args, arch=args.arch, load=args.load))
+    if args.json:
+        from repro.experiments.export import result_to_json
+
+        print(result_to_json(result))
+    else:
+        print(result.summary())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    kwargs = dict(
+        archs=tuple(args.archs),
+        loads=tuple(args.loads),
+        topology=args.topology,
+        seed=args.seed,
+    )
+    if args.figure == "fig2":
+        series = fig2_control(
+            warmup_ns=round(args.warmup_us * units.US),
+            measure_ns=round(args.measure_us * units.US),
+            **kwargs,
+        )
+    elif args.figure == "fig3":
+        series = fig3_video(time_scale=args.time_scale, **kwargs)
+    else:
+        series = fig4_best_effort(
+            warmup_ns=round(args.warmup_us * units.US),
+            measure_ns=round(args.measure_us * units.US),
+            **kwargs,
+        )
+    print(series.text())
+    if args.out:
+        from repro.experiments.export import write_figure
+
+        path = write_figure(series, args.out)
+        print(f"\n[series exported to {path}]")
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    from repro.analysis import measure_scheduling_cost
+    from repro.experiments.presets import make_topology
+    from repro.stats.report import format_table
+
+    rows = []
+    for name in ("traditional-2vc", "simple-2vc", "advanced-2vc", "ideal"):
+        report = measure_scheduling_cost(
+            ARCHITECTURES[name],
+            topology=make_topology(args.topology),
+            seed=args.seed,
+            horizon_ns=round(args.measure_us * units.US),
+            mix_config=scaled_video_mix(args.load, args.time_scale),
+        )
+        rows.append(report.row())
+    print(
+        format_table(
+            [
+                "architecture",
+                "packets",
+                "comparisons/pkt",
+                "FIFO mems/port",
+                "sorting HW",
+                "arbiter comparators",
+            ],
+            rows,
+            title="Scheduling cost (Section 6)",
+        )
+    )
+    return 0
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    from repro.experiments.replication import replicate
+
+    config = _config_from(args, arch=args.arch, load=args.load)
+    replication = replicate(config, args.seeds)
+    print(
+        f"{ARCHITECTURES[args.arch].label}  load={args.load:.0%}  "
+        f"{len(args.seeds)} seeds {tuple(args.seeds)}\n"
+    )
+    for tclass in ("control", "multimedia", "best-effort", "background"):
+        try:
+            latency = replication.mean_latency(tclass)
+            throughput = replication.throughput(tclass)
+        except KeyError:
+            continue
+        lat_lo, lat_hi = latency.ci95
+        tput_lo, tput_hi = throughput.ci95
+        print(
+            f"  {tclass:<12} latency {latency.mean / 1e3:9.2f} us "
+            f"[{lat_lo / 1e3:.2f}, {lat_hi / 1e3:.2f}]   "
+            f"throughput {throughput.mean:7.3f} B/ns "
+            f"[{tput_lo:.3f}, {tput_hi:.3f}]"
+        )
+    return 0
+
+
+def _cmd_claims(args: argparse.Namespace) -> int:
+    penalties = order_error_penalties(
+        load=args.load,
+        topology=args.topology,
+        seed=args.seed,
+        warmup_ns=round(args.warmup_us * units.US),
+        measure_ns=round(args.measure_us * units.US),
+    )
+    print("Control-traffic mean latency relative to Ideal (paper: Simple ~1.25, Advanced ~1.05):")
+    for arch, factor in penalties.items():
+        print(f"  {ARCHITECTURES[arch].label:<18} x{factor:.3f}")
+    return 0
+
+
+def _cmd_utilization(args: argparse.Namespace) -> int:
+    from repro.analysis import measure_utilization
+
+    result = run_experiment(_config_from(args, arch=args.arch, load=args.load))
+    horizon = result.config.end_ns
+    report = measure_utilization(result.fabric, horizon)
+    print(report.table(args.hotspots))
+    print(
+        f"\nspine-layer fairness index (Jain): "
+        f"{report.fairness_index('fabric-up'):.3f}  (1.0 = perfectly balanced)"
+    )
+    return 0
+
+
+def _cmd_list() -> int:
+    print("Architectures (Section 4.1):")
+    for name, arch in ARCHITECTURES.items():
+        print(f"  {name:<16} {arch.label}")
+    print("\nTopology presets:")
+    for name, (leaves, hosts, spines) in TOPOLOGY_PRESETS.items():
+        print(
+            f"  {name:<8} {leaves * hosts:>4} hosts "
+            f"({leaves} leaves x {hosts} hosts, {spines} spines)"
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "claims":
+        return _cmd_claims(args)
+    if args.command == "cost":
+        return _cmd_cost(args)
+    if args.command == "replicate":
+        return _cmd_replicate(args)
+    if args.command == "utilization":
+        return _cmd_utilization(args)
+    if args.command == "list":
+        return _cmd_list()
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

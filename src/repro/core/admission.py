@@ -1,0 +1,175 @@
+"""Centralized admission control and fixed-path assignment (Section 3).
+
+The paper reserves bandwidth "at a centralized point and no record is
+kept in the switches", which also makes fixed routing mandatory.  This
+module is that centralized point:
+
+- Regulated flows call :meth:`AdmissionController.reserve`; the
+  controller picks, among the candidate minimal paths the routing layer
+  offers, the one whose most-loaded link stays least loaded after adding
+  the request (greedy water-filling), and rejects the flow if no path can
+  carry it within the configured utilization ceiling.
+- Best-effort flows call :meth:`AdmissionController.assign_path`; no
+  bandwidth is reserved, but paths are still fixed (to preserve in-order
+  delivery) and spread across candidates by a running byte-weight
+  counter -- the "load balancing when assigning paths" the paper notes as
+  an advantage over deterministic routing.
+
+Paths are any objects exposing ``ports`` (source-route port indices) and
+``links`` (hashable directed-link ids for accounting); the routing layer
+provides them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Optional, Protocol, Sequence, Tuple
+
+__all__ = ["AdmissionController", "AdmissionError", "Reservation"]
+
+
+class PathLike(Protocol):
+    ports: Tuple[int, ...]
+    links: Tuple[Hashable, ...]
+
+
+class AdmissionError(RuntimeError):
+    """Raised when no candidate path can accommodate a reservation."""
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """A granted bandwidth reservation along a fixed path."""
+
+    flow_id: int
+    path: PathLike
+    bw_bytes_per_ns: float
+
+
+class AdmissionController:
+    """Tracks per-link reserved bandwidth and balances path assignment.
+
+    ``candidates(src, dst)`` must return the usable (deadlock-free,
+    minimal) paths between two hosts.  ``link_capacity`` is the data rate
+    of every link in bytes/ns; heterogeneous fabrics can pass a mapping
+    via ``capacity_of``.
+    """
+
+    def __init__(
+        self,
+        candidates: Callable[[int, int], Sequence[PathLike]],
+        link_capacity: float,
+        *,
+        max_utilization: float = 1.0,
+        capacity_of: Optional[Callable[[Hashable], float]] = None,
+    ):
+        if link_capacity <= 0:
+            raise ValueError(f"link capacity must be positive, got {link_capacity}")
+        if not 0 < max_utilization <= 1.0:
+            raise ValueError(f"max_utilization must be in (0, 1], got {max_utilization}")
+        self._candidates = candidates
+        self._default_capacity = link_capacity
+        self._capacity_of = capacity_of
+        self.max_utilization = max_utilization
+        #: reserved bandwidth per directed link id
+        self.reserved: Dict[Hashable, float] = {}
+        #: best-effort balancing weight (bytes/ns of assigned deadline-bw)
+        self.assigned_weight: Dict[Hashable, float] = {}
+        self._reservations: Dict[int, Reservation] = {}
+
+    # ------------------------------------------------------------------
+    def capacity(self, link: Hashable) -> float:
+        if self._capacity_of is not None:
+            return self._capacity_of(link)
+        return self._default_capacity
+
+    def utilization(self, link: Hashable) -> float:
+        return self.reserved.get(link, 0.0) / self.capacity(link)
+
+    def _path_profile(
+        self, path: PathLike, extra_bw: float, table: Dict[Hashable, float]
+    ) -> Tuple[float, ...]:
+        """Post-assignment utilizations over the path's links, sorted
+        descending.
+
+        Comparing *profiles* lexicographically (not just the maximum)
+        matters: every candidate path between two hosts shares the same
+        first and last links, so once the host's injection link is the
+        busiest element the maxima all tie and a max-only rule would
+        collapse onto the first candidate forever -- one spine hot, the
+        rest idle.  Lexicographic water-filling keeps spreading load by
+        the busiest *distinct* link.
+        """
+        return tuple(
+            sorted(
+                (
+                    (table.get(link, 0.0) + extra_bw) / self.capacity(link)
+                    for link in path.links
+                ),
+                reverse=True,
+            )
+        )
+
+    def _path_cost(self, path: PathLike, extra_bw: float, table: Dict[Hashable, float]) -> float:
+        """Max post-assignment utilization over the path's links."""
+        profile = self._path_profile(path, extra_bw, table)
+        return profile[0] if profile else 0.0
+
+    # ------------------------------------------------------------------
+    def reserve(self, flow_id: int, src: int, dst: int, bw_bytes_per_ns: float) -> Reservation:
+        """Admit a regulated flow or raise :class:`AdmissionError`.
+
+        Deterministic: among equally loaded candidates the first in the
+        routing layer's (stable) order wins.
+        """
+        if bw_bytes_per_ns <= 0:
+            raise ValueError(f"reserved bandwidth must be positive, got {bw_bytes_per_ns}")
+        if flow_id in self._reservations:
+            raise AdmissionError(f"flow {flow_id} already holds a reservation")
+        paths = self._candidates(src, dst)
+        if not paths:
+            raise AdmissionError(f"no route from host {src} to host {dst}")
+        best_path = min(
+            paths, key=lambda p: self._path_profile(p, bw_bytes_per_ns, self.reserved)
+        )
+        if self._path_cost(best_path, bw_bytes_per_ns, self.reserved) > self.max_utilization:
+            raise AdmissionError(
+                f"flow {flow_id} ({src}->{dst}, {bw_bytes_per_ns:.4f} B/ns) rejected: "
+                f"all {len(paths)} candidate paths above "
+                f"{self.max_utilization:.0%} utilization"
+            )
+        for link in best_path.links:
+            self.reserved[link] = self.reserved.get(link, 0.0) + bw_bytes_per_ns
+        reservation = Reservation(flow_id, best_path, bw_bytes_per_ns)
+        self._reservations[flow_id] = reservation
+        return reservation
+
+    def release(self, flow_id: int) -> None:
+        """Return a flow's reserved bandwidth to the pool."""
+        reservation = self._reservations.pop(flow_id, None)
+        if reservation is None:
+            raise AdmissionError(f"flow {flow_id} holds no reservation")
+        for link in reservation.path.links:
+            remaining = self.reserved.get(link, 0.0) - reservation.bw_bytes_per_ns
+            # Guard against float drift pushing a fully released link negative.
+            self.reserved[link] = remaining if remaining > 1e-12 else 0.0
+
+    def assign_path(self, src: int, dst: int, weight: float = 1.0) -> PathLike:
+        """Fixed-path assignment for unregulated traffic (no reservation)."""
+        paths = self._candidates(src, dst)
+        if not paths:
+            raise AdmissionError(f"no route from host {src} to host {dst}")
+        best_path = min(
+            paths, key=lambda p: self._path_profile(p, weight, self.assigned_weight)
+        )
+        for link in best_path.links:
+            self.assigned_weight[link] = self.assigned_weight.get(link, 0.0) + weight
+        return best_path
+
+    # ------------------------------------------------------------------
+    @property
+    def reservation_count(self) -> int:
+        return len(self._reservations)
+
+    def reservation_for(self, flow_id: int) -> Optional[Reservation]:
+        return self._reservations.get(flow_id)

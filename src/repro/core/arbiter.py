@@ -1,0 +1,119 @@
+"""Output-port arbiters.
+
+An arbiter picks, among the candidate queues feeding one output port and
+VC, the queue whose head should be transmitted next.  Per the paper's
+implementability constraint it may look only at queue *heads*:
+
+- :class:`EDFPicker` -- minimum head deadline (ties by arrival order).
+  Over FIFO queues this is the *Simple* scheme, over take-over queues the
+  *Advanced* scheme, and over heap queues it realizes exact EDF (*Ideal*),
+  because then every queue's head is its true minimum.
+- :class:`RoundRobinPicker` -- deadline-blind rotating priority, as a
+  conventional switch (*Traditional 2 VCs*) would use.
+
+``pick`` accepts an optional ``sendable`` predicate used for credit
+masking (skipping candidates that would not fit downstream).  The
+traditional architecture masks, as real request-grant arbiters do.  The
+EDF architectures must *not* mask: the appendix's no-reordering proof
+requires that only the minimum-deadline candidate be checked for
+credits, so their switch calls ``pick`` without a predicate and then
+checks the single winner itself.  (An ablation benchmark measures what
+masking would break.)
+
+``pick`` is side-effect free; the switch calls :meth:`Picker.granted`
+once the chosen head actually wins the credit check and is sent, so a
+blocked candidate does not perturb stateful pickers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.core.queues.base import DeadlineTagged, PacketQueue
+
+__all__ = ["EDFPicker", "Picker", "RoundRobinPicker"]
+
+SendablePredicate = Callable[[DeadlineTagged], bool]
+
+
+class Picker:
+    """Interface: choose an index into ``queues`` or None if nothing to send."""
+
+    __slots__ = ()
+
+    def pick(
+        self,
+        queues: Sequence[PacketQueue],
+        sendable: Optional[SendablePredicate] = None,
+    ) -> Optional[int]:
+        raise NotImplementedError
+
+    def granted(self, index: int) -> None:
+        """Notification that the pick at ``index`` was transmitted."""
+        return None
+
+
+class EDFPicker(Picker):
+    """Earliest-deadline-first over queue heads.
+
+    Ties break on packet uid (global arrival order), which both keeps the
+    simulation deterministic and matches the hardware intuition that the
+    older packet wins a deadline tie.
+    """
+
+    __slots__ = ()
+
+    def pick(
+        self,
+        queues: Sequence[PacketQueue],
+        sendable: Optional[SendablePredicate] = None,
+    ) -> Optional[int]:
+        best_index: Optional[int] = None
+        best_key: Optional[tuple[int, int]] = None
+        for index, queue in enumerate(queues):
+            head = queue.head()
+            if head is None:
+                continue
+            if sendable is not None and not sendable(head):
+                continue
+            key = (head.deadline, head.uid)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        return best_index
+
+
+class RoundRobinPicker(Picker):
+    """Rotating-priority arbiter, one rotation pointer per instance.
+
+    The pointer advances past a queue only when it is actually *granted*
+    (transmitted), giving the long-run fairness a conventional crossbar
+    scheduler provides between input ports.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def pick(
+        self,
+        queues: Sequence[PacketQueue],
+        sendable: Optional[SendablePredicate] = None,
+    ) -> Optional[int]:
+        n = len(queues)
+        if n == 0:
+            return None
+        start = self._next % n
+        for offset in range(n):
+            index = (start + offset) % n
+            head = queues[index].head()
+            if head is None:
+                continue
+            if sendable is not None and not sendable(head):
+                continue
+            return index
+        return None
+
+    def granted(self, index: int) -> None:
+        self._next = index + 1

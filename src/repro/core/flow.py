@@ -1,0 +1,140 @@
+"""Flow descriptors and per-flow sender state.
+
+A *flow* is a single connection (Section 3): source, destination, a fixed
+route, and whatever is needed to compute deadlines.  All of this state
+lives in the **end hosts** -- switches keep no flow records, which is the
+paper's central implementability constraint.
+
+- :class:`FlowSpec` -- immutable description (who, where, which class,
+  how deadlines are computed).
+- :class:`FlowState` -- the mutable sender-side record: deadline stamper
+  (virtual clock), sequence counters, and the route assigned at admission.
+- :class:`FlowRegistry` -- id allocation and lookup for a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.deadline import (
+    ControlStamper,
+    DeadlineStamper,
+    FrameBasedStamper,
+    RateBasedStamper,
+)
+from repro.constants import VC_BEST_EFFORT, VC_REGULATED
+
+__all__ = ["FlowKind", "FlowRegistry", "FlowSpec", "FlowState"]
+
+
+class FlowKind:
+    """How deadlines are computed for a flow (Section 3.1)."""
+
+    RATE = "rate"  # Virtual Clock over reserved average bandwidth
+    FRAME = "frame"  # frame-latency based (multimedia)
+    CONTROL = "control"  # rate-based at full link bandwidth, no admission
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """Immutable flow description.
+
+    ``bw_bytes_per_ns`` is the reserved average bandwidth for RATE flows
+    and the *deadline-generation* bandwidth for best-effort aggregated
+    flows (no reservation is made for those, but the weight still shapes
+    their deadlines and hence their share under contention -- Figure 4).
+    ``target_latency_ns`` applies to FRAME flows.
+    """
+
+    flow_id: int
+    src: int
+    dst: int
+    tclass: str
+    kind: str = FlowKind.RATE
+    vc: int = VC_REGULATED
+    bw_bytes_per_ns: Optional[float] = None
+    target_latency_ns: Optional[int] = None
+    #: Whether eligible-time smoothing applies to this flow's packets.
+    smoothing: bool = False
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"flow {self.flow_id}: src == dst == {self.src}")
+        if self.kind not in (FlowKind.RATE, FlowKind.FRAME, FlowKind.CONTROL):
+            raise ValueError(f"unknown flow kind {self.kind!r}")
+        if self.kind in (FlowKind.RATE, FlowKind.CONTROL):
+            if not self.bw_bytes_per_ns or self.bw_bytes_per_ns <= 0:
+                raise ValueError(
+                    f"flow {self.flow_id}: {self.kind} flows need bw_bytes_per_ns > 0"
+                )
+        if self.kind == FlowKind.FRAME:
+            if not self.target_latency_ns or self.target_latency_ns <= 0:
+                raise ValueError(
+                    f"flow {self.flow_id}: frame flows need target_latency_ns > 0"
+                )
+        if self.vc < 0:
+            raise ValueError(f"flow {self.flow_id}: bad vc {self.vc}")
+
+    def make_stamper(self) -> DeadlineStamper:
+        if self.kind == FlowKind.FRAME:
+            assert self.target_latency_ns is not None
+            return FrameBasedStamper(self.target_latency_ns)
+        assert self.bw_bytes_per_ns is not None
+        if self.kind == FlowKind.CONTROL:
+            return ControlStamper(self.bw_bytes_per_ns)
+        return RateBasedStamper(self.bw_bytes_per_ns)
+
+
+@dataclass
+class FlowState:
+    """Mutable sender-side record for one flow."""
+
+    spec: FlowSpec
+    stamper: DeadlineStamper
+    #: Source route: output port to take at each switch (set at admission).
+    path: Tuple[int, ...] = ()
+    next_seq: int = 0
+    next_msg: int = 0
+    #: Totals for statistics/validation.
+    packets_sent: int = 0
+    bytes_sent: int = 0
+
+    def take_seq(self) -> int:
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+    def take_msg(self) -> int:
+        msg = self.next_msg
+        self.next_msg += 1
+        return msg
+
+
+class FlowRegistry:
+    """Allocates flow ids and stores the sender-side state of every flow."""
+
+    def __init__(self) -> None:
+        self._flows: Dict[int, FlowState] = {}
+        self._next_id = 1
+
+    def create(self, **spec_kwargs) -> FlowState:
+        """Create a flow, auto-assigning ``flow_id``."""
+        flow_id = self._next_id
+        self._next_id += 1
+        spec = FlowSpec(flow_id=flow_id, **spec_kwargs)
+        state = FlowState(spec=spec, stamper=spec.make_stamper())
+        self._flows[flow_id] = state
+        return state
+
+    def get(self, flow_id: int) -> FlowState:
+        return self._flows[flow_id]
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __iter__(self) -> Iterator[FlowState]:
+        return iter(self._flows.values())
+
+    def by_host(self, src: int) -> list[FlowState]:
+        return [f for f in self._flows.values() if f.spec.src == src]

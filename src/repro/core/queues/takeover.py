@@ -1,0 +1,105 @@
+"""The ordered/take-over queue pair (Section 3.4 and the appendix).
+
+Two FIFOs share one buffer budget:
+
+- **L**, the *ordered queue*: packets whose deadline is >= the deadline
+  of L's current tail are appended here, so L stays sorted
+  (appendix Theorem 1).
+- **U**, the *take-over queue*: packets that arrive with a deadline
+  *smaller* than L's tail go here; they get a chance to overtake the
+  high-deadline packets already queued in L.
+
+Dequeue (appendix Definition 2) offers the smaller-deadline of the two
+FIFO heads.  Crucially, the flow-control rule from the appendix applies:
+**only that one candidate is checked for credits** -- if it does not fit
+downstream, the other head must not sneak past it, or the no-reordering
+proof breaks.  The switch honours this by only ever calling
+:meth:`head` and transmitting exactly that packet.
+
+The appendix proves (Theorems 1-3, Lemma 1) that this structure never
+delivers packets of one flow out of order, given the sender-side
+guarantees of Eq. 1-2 (per-flow deadlines strictly increase and packets
+arrive in order).  Those theorems are verified as executable invariants
+by ``tests/core/test_takeover_properties.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import chain
+from typing import Iterator, Optional
+
+from repro.core.queues.base import DeadlineTagged, PacketQueue
+
+__all__ = ["TakeOverQueue"]
+
+
+class TakeOverQueue(PacketQueue):
+    """Ordered FIFO *L* plus take-over FIFO *U* behind one dequeue head.
+
+    The two queues "can dynamically take all the memory allowed for the
+    VC" (Section 3.4's appendix note), so capacity is tracked jointly.
+    """
+
+    __slots__ = ("_lower", "_upper")
+
+    def __init__(self, capacity_bytes: Optional[int] = None):
+        super().__init__(capacity_bytes)
+        self._lower: deque[DeadlineTagged] = deque()  # L, the ordered queue
+        self._upper: deque[DeadlineTagged] = deque()  # U, the take-over queue
+
+    # -- enqueuing (appendix Definition 1) ---------------------------------
+    def push(self, pkt: DeadlineTagged) -> None:
+        self._charge(pkt)
+        lower = self._lower
+        if not lower and not self._upper:
+            lower.append(pkt)
+        elif lower and pkt.deadline >= lower[-1].deadline:
+            lower.append(pkt)
+        else:
+            # Lemma 1 guarantees L is never empty while U holds packets, so
+            # reaching here with an empty L would mean the invariant broke.
+            assert lower, "take-over queue occupied while ordered queue empty"
+            self._upper.append(pkt)
+
+    # -- dequeuing (appendix Definition 2) ----------------------------------
+    def head(self) -> Optional[DeadlineTagged]:
+        lower, upper = self._lower, self._upper
+        if not lower:
+            assert not upper, "Lemma 1 violated: packets only in take-over queue"
+            return None
+        if not upper:
+            return lower[0]
+        l_head, u_head = lower[0], upper[0]
+        # Tie-break on uid (arrival order) so equal deadlines stay FIFO.
+        if (u_head.deadline, u_head.uid) < (l_head.deadline, l_head.uid):
+            return u_head
+        return l_head
+
+    def pop(self) -> DeadlineTagged:
+        pkt = self.head()
+        if pkt is None:
+            raise IndexError("pop from empty TakeOverQueue")
+        if self._upper and pkt is self._upper[0]:
+            self._upper.popleft()
+        else:
+            self._lower.popleft()
+        self._discharge(pkt)
+        return pkt
+
+    # -- introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._lower) + len(self._upper)
+
+    def __iter__(self) -> Iterator[DeadlineTagged]:
+        return chain(self._lower, self._upper)
+
+    @property
+    def ordered_snapshot(self) -> tuple[DeadlineTagged, ...]:
+        """Contents of L, front to back (for invariant tests)."""
+        return tuple(self._lower)
+
+    @property
+    def takeover_snapshot(self) -> tuple[DeadlineTagged, ...]:
+        """Contents of U, front to back (for invariant tests)."""
+        return tuple(self._upper)

@@ -1,0 +1,116 @@
+"""Multi-seed replication: means and confidence intervals.
+
+A single seeded run is deterministic but still one sample of the
+workload process; claims like "Advanced is within 5% of Ideal" deserve
+error bars.  :func:`replicate` runs one configuration across seeds and
+:class:`Replication` reduces any scalar metric to mean / std / a normal
+95% confidence interval.
+
+The runner is embarrassingly parallel across seeds, but the simulations
+are CPU-bound pure Python, so parallelism is left to the caller (e.g.
+``pytest-xdist`` or a process pool over :func:`run_one`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import RunResult, run_experiment
+
+__all__ = ["MetricSummary", "Replication", "replicate", "run_one"]
+
+#: two-sided 95% normal quantile
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean and spread of one scalar metric across seeds."""
+
+    name: str
+    values: Tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n
+
+    @property
+    def std(self) -> float:
+        if self.n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / (self.n - 1))
+
+    @property
+    def ci95(self) -> Tuple[float, float]:
+        """Normal-approximation 95% confidence interval of the mean."""
+        half = _Z95 * self.std / math.sqrt(self.n) if self.n > 1 else 0.0
+        return (self.mean - half, self.mean + half)
+
+    def overlaps(self, other: "MetricSummary") -> bool:
+        a_lo, a_hi = self.ci95
+        b_lo, b_hi = other.ci95
+        return a_lo <= b_hi and b_lo <= a_hi
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        lo, hi = self.ci95
+        return f"{self.name}: {self.mean:.4g} [{lo:.4g}, {hi:.4g}] (n={self.n})"
+
+
+MetricFn = Callable[[RunResult], float]
+
+
+class Replication:
+    """Results of one configuration across several seeds."""
+
+    def __init__(self, config: ExperimentConfig, results: Dict[int, RunResult]):
+        if not results:
+            raise ValueError("replication needs at least one run")
+        self.config = config
+        self.results = results
+
+    @property
+    def seeds(self) -> List[int]:
+        return sorted(self.results)
+
+    def metric(self, name: str, fn: MetricFn) -> MetricSummary:
+        return MetricSummary(
+            name, tuple(fn(self.results[seed]) for seed in self.seeds)
+        )
+
+    # Convenience extractors for the metrics the figures use -------------
+    def mean_latency(self, tclass: str) -> MetricSummary:
+        return self.metric(
+            f"mean latency [{tclass}]",
+            lambda r: r.collector.get(tclass).message_latency.mean,
+        )
+
+    def throughput(self, tclass: str) -> MetricSummary:
+        return self.metric(f"throughput [{tclass}]", lambda r: r.throughput(tclass))
+
+    def p99_latency(self, tclass: str) -> MetricSummary:
+        return self.metric(
+            f"p99 latency [{tclass}]",
+            lambda r: r.collector.get(tclass).message_cdf().quantile(0.99),
+        )
+
+
+def run_one(config: ExperimentConfig, seed: int) -> RunResult:
+    """One replicate (top-level function so process pools can pickle it)."""
+    return run_experiment(config.with_(seed=seed))
+
+
+def replicate(config: ExperimentConfig, seeds: Sequence[int]) -> Replication:
+    """Run ``config`` once per seed (sequentially) and bundle the results."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError(f"duplicate seeds in {seeds!r}")
+    return Replication(config, {seed: run_one(config, seed) for seed in seeds})

@@ -1,0 +1,53 @@
+"""Interconnection-network substrate.
+
+Models the hardware the paper simulates (Section 4.1):
+
+- :mod:`~repro.network.packet` -- the network-level packet with its
+  deadline tag (the only QoS state a switch ever sees).
+- :mod:`~repro.network.link` -- point-to-point links with credit-based
+  flow control (lossless, like PCI AS / InfiniBand).
+- :mod:`~repro.network.switch` -- a combined input/output-queued switch
+  with virtual output queuing and per-architecture VC queue structures.
+- :mod:`~repro.network.host` -- the end-host network interface: per-flow
+  deadline stamping, the eligible-time queue, and the dual-VC injection
+  path described in Section 3.2.
+- :mod:`~repro.network.topology` -- folded perfect-shuffle MIN /
+  fat-tree builders (the paper's 128-endpoint butterfly).
+- :mod:`~repro.network.routing` -- up*/down* fixed routing and
+  load-balanced path selection.
+- :mod:`~repro.network.fabric` -- wires hosts, switches, and links into a
+  runnable network.
+"""
+
+from repro.network.packet import Packet, VC_BEST_EFFORT, VC_REGULATED
+from repro.network.link import Link, CreditChannel
+from repro.network.topology import (
+    FatTreeSpec,
+    Topology,
+    build_fat_tree,
+    build_folded_shuffle_min,
+    paper_topology,
+)
+from repro.network.routing import RoutingTable, compute_updown_paths
+from repro.network.switch import Switch
+from repro.network.host import Host
+from repro.network.fabric import Fabric, build_fabric
+
+__all__ = [
+    "CreditChannel",
+    "Fabric",
+    "FatTreeSpec",
+    "Host",
+    "Link",
+    "Packet",
+    "RoutingTable",
+    "Switch",
+    "Topology",
+    "VC_BEST_EFFORT",
+    "VC_REGULATED",
+    "build_fabric",
+    "build_fat_tree",
+    "build_folded_shuffle_min",
+    "compute_updown_paths",
+    "paper_topology",
+]

@@ -1,0 +1,287 @@
+"""The end-host network interface (Section 3.2's host organization).
+
+All per-flow intelligence lives here, not in the switches:
+
+- messages from the application are segmented into MTU-sized packets and
+  **stamped** with deadlines by the flow's virtual-clock stamper;
+- regulated packets optionally wait in an **eligible-time queue** (sorted
+  by eligible time); once eligible they move to the **injection queue**
+  sorted by ascending deadline -- this sortedness at the source is the
+  assumption that lets switches get away with FIFO queues;
+- best-effort packets sit in their own deadline-sorted queue on VC1 and
+  are injected "only when the link is available, there are credits, and
+  the regulated-traffic VC has no packets ready to inject";
+- under the *Traditional* architecture hosts do none of this: both VCs
+  inject in plain FIFO order (deadlines are still stamped, but nothing
+  reads them).
+
+The receive side models an infinite-sink NIC: a delivered packet is
+consumed immediately and its buffer credit returned at once.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.core.architectures import Architecture
+from repro.core.eligible import EligiblePolicy
+from repro.core.flow import FlowKind, FlowState
+from repro.core.queues import EDFHeapQueue, FifoQueue, PacketQueue
+from repro.network.link import Link
+from repro.network.packet import N_VCS, Packet, VC_REGULATED
+from repro.sim.engine import Engine, EventHandle
+from repro.sim.monitor import NullTrace
+
+__all__ = ["Host"]
+
+_NULL_TRACE = NullTrace()
+
+DeliveryCallback = Callable[[Packet, int], None]
+
+
+class Host:
+    """One end host: NIC send queues, deadline stamping, and the sink side."""
+
+    __slots__ = (
+        "engine",
+        "node_id",
+        "index",
+        "architecture",
+        "eligible_policy",
+        "mtu",
+        "trace",
+        "out_link",
+        "in_link",
+        "clock_offset",
+        "on_delivery",
+        "_pending",
+        "_ready",
+        "_wake",
+        "packets_submitted",
+        "bytes_submitted",
+        "packets_injected",
+        "bytes_injected",
+        "packets_received",
+        "bytes_received",
+    )
+
+    def __init__(
+        self,
+        engine: Engine,
+        node_id: str,
+        index: int,
+        architecture: Architecture,
+        *,
+        eligible_policy: Optional[EligiblePolicy] = None,
+        mtu: int = 2048,
+        trace=_NULL_TRACE,
+        on_delivery: Optional[DeliveryCallback] = None,
+        clock_offset: int = 0,
+        n_vcs: int = N_VCS,
+    ):
+        if mtu <= 0:
+            raise ValueError(f"MTU must be positive, got {mtu}")
+        self.engine = engine
+        self.node_id = node_id
+        self.index = index
+        self.architecture = architecture
+        self.eligible_policy = eligible_policy or EligiblePolicy()
+        self.mtu = mtu
+        self.trace = trace
+        self.out_link: Optional[Link] = None
+        self.in_link: Optional[Link] = None
+        self.on_delivery = on_delivery
+        #: Section 3.3: this NIC's free-running clock reads
+        #: ``engine.now + clock_offset``; deadlines and eligible times are
+        #: computed on that local clock (and re-based by TTD-mode links).
+        self.clock_offset = clock_offset
+        #: regulated packets not yet eligible: heap of (eligible, uid, pkt)
+        self._pending: List[tuple[int, int, Packet]] = []
+        queue_cls = EDFHeapQueue if architecture.host_edf else FifoQueue
+        #: per-VC injection queues, deadline-sorted for the EDF architectures
+        self._ready: List[PacketQueue] = [queue_cls(None) for _ in range(n_vcs)]
+        self._wake: Optional[EventHandle] = None
+        self.packets_submitted = 0
+        self.bytes_submitted = 0
+        self.packets_injected = 0
+        self.bytes_injected = 0
+        self.packets_received = 0
+        self.bytes_received = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_out(self, link: Link) -> None:
+        if self.out_link is not None:
+            raise ValueError(f"{self.node_id} already has an output link")
+        self.out_link = link
+        link.sender = self
+
+    def attach_in(self, link: Link) -> None:
+        if self.in_link is not None:
+            raise ValueError(f"{self.node_id} already has an input link")
+        self.in_link = link
+        link.receiver = self
+
+    # ------------------------------------------------------------------
+    # send side
+    # ------------------------------------------------------------------
+    def segment_sizes(self, message_bytes: int) -> List[int]:
+        """Split an application message into MTU-bounded packet sizes."""
+        if message_bytes <= 0:
+            raise ValueError(f"message size must be positive, got {message_bytes}")
+        full, rest = divmod(message_bytes, self.mtu)
+        sizes = [self.mtu] * full
+        if rest:
+            sizes.append(rest)
+        return sizes
+
+    def submit_message(self, flow: FlowState, message_bytes: int) -> List[Packet]:
+        """Segment, stamp, and enqueue one application message on ``flow``.
+
+        Returns the packets created (mainly for tests; the caller normally
+        ignores them).
+        """
+        spec = flow.spec
+        if spec.src != self.index:
+            raise ValueError(
+                f"flow {spec.flow_id} originates at host {spec.src}, "
+                f"not at {self.node_id}"
+            )
+        true_now = self.engine.now
+        # All deadline arithmetic happens on this NIC's local clock; with
+        # zero skew (the default) local time == simulation time.
+        now = true_now + self.clock_offset
+        sizes = self.segment_sizes(message_bytes)
+        parts = len(sizes)
+        if spec.kind == FlowKind.FRAME:
+            deadlines = flow.stamper.stamp_frame(now, parts)  # type: ignore[attr-defined]
+        else:
+            deadlines = [flow.stamper.stamp(now, size) for size in sizes]
+
+        msg_id = flow.take_msg()
+        smoothing = spec.smoothing and self.architecture.host_edf
+        packets: List[Packet] = []
+        for part, (size, deadline) in enumerate(zip(sizes, deadlines)):
+            eligible = (
+                self.eligible_policy.eligible_time(deadline=deadline, now=now)
+                if smoothing
+                else now
+            )
+            pkt = Packet(
+                flow_id=spec.flow_id,
+                seq=flow.take_seq(),
+                src=spec.src,
+                dst=spec.dst,
+                size=size,
+                vc=spec.vc,
+                tclass=spec.tclass,
+                deadline=deadline,
+                eligible=eligible,
+                path=flow.path,
+                msg_id=msg_id,
+                msg_seq=part,
+                msg_parts=parts,
+                birth=true_now,  # statistics are always in simulation time
+            )
+            packets.append(pkt)
+            self.packets_submitted += 1
+            self.bytes_submitted += size
+            flow.packets_sent += 1
+            flow.bytes_sent += size
+            if pkt.vc == VC_REGULATED and eligible > now:
+                heapq.heappush(self._pending, (eligible, pkt.uid, pkt))
+            else:
+                self._ready[pkt.vc].push(pkt)
+        self._arm_wake()
+        self._try_inject()
+        return packets
+
+    def _arm_wake(self) -> None:
+        """Keep a timer on the earliest not-yet-eligible packet.
+
+        Pending eligible times are on the local clock; the engine timer is
+        set in simulation time (``local - offset``).
+        """
+        if not self._pending:
+            return
+        head_time = max(self.engine.now, self._pending[0][0] - self.clock_offset)
+        if self._wake is not None and not self._wake.cancelled:
+            if self._wake.time <= head_time:
+                return
+            self._wake.cancel()
+        self._wake = self.engine.at(head_time, self._release_eligible)
+
+    def _release_eligible(self) -> None:
+        now = self.engine.now + self.clock_offset  # local clock
+        pending = self._pending
+        moved = False
+        while pending and pending[0][0] <= now:
+            _, _, pkt = heapq.heappop(pending)
+            self._ready[pkt.vc].push(pkt)
+            moved = True
+        self._wake = None
+        self._arm_wake()
+        if moved:
+            self._try_inject()
+
+    def pull(self, link: Link) -> None:
+        """Output link freed or credits returned: try to inject again."""
+        self._try_inject()
+
+    def _try_inject(self) -> None:
+        link = self.out_link
+        if link is None or link.busy:
+            return
+        # Section 3.2: lower-index VCs have absolute priority -- a later VC
+        # goes out only when every higher-priority VC has no packet it can
+        # send.  A head blocked on *credits* is waiting for its own
+        # downstream buffer, not for the link, so the next VC may use the
+        # wire meanwhile (work conservation); within a VC the blocked
+        # minimum-deadline head still bars every other packet, which is
+        # the credit rule the appendix's proof requires.
+        for ready in self._ready:
+            head = ready.head()
+            if head is not None and link.channel.can_send(head.vc, head.size):
+                self._inject(ready.pop(), link)
+                return
+
+    def _inject(self, pkt: Packet, link: Link) -> None:
+        pkt.inject = self.engine.now
+        self.packets_injected += 1
+        self.bytes_injected += pkt.size
+        if self.trace.enabled:
+            self.trace.record(self.engine.now, "host.inject", self.node_id, pkt.uid, pkt.vc)
+        link.transmit(pkt)
+
+    # ------------------------------------------------------------------
+    # receive side
+    # ------------------------------------------------------------------
+    def accept(self, pkt: Packet, link: Link) -> None:
+        if pkt.dst != self.index:
+            raise ValueError(
+                f"{self.node_id} received packet for host {pkt.dst}: routing bug"
+            )
+        now = self.engine.now
+        pkt.deliver = now
+        self.packets_received += 1
+        self.bytes_received += pkt.size
+        # Infinite-sink NIC: consume immediately, return the credit at once.
+        link.return_credit(pkt.vc, pkt.size)
+        if self.trace.enabled:
+            self.trace.record(now, "host.deliver", self.node_id, pkt.uid, pkt.vc)
+        if self.on_delivery is not None:
+            self.on_delivery(pkt, now)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def queued_packets(self) -> int:
+        return len(self._pending) + sum(len(q) for q in self._ready)
+
+    def ready_packets(self, vc: int) -> int:
+        return len(self._ready[vc])
+
+    def pending_packets(self) -> int:
+        return len(self._pending)

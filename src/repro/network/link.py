@@ -1,0 +1,196 @@
+"""Point-to-point links with credit-based flow control.
+
+High-speed interconnects are lossless: a sender transmits a packet on a
+VC only when the receiver's input buffer for that VC is guaranteed to
+have room, tracked by a per-VC credit counter at the sender (Section 2.2;
+the paper's configuration gives every VC 8 KB of buffer).  Credits are
+returned when the receiver drains the packet from its input buffer, and
+the return itself takes a propagation delay.
+
+Timing model (store-and-forward at packet granularity):
+
+- transmission occupies the channel for ``size / bandwidth`` ns;
+- the receiver sees the complete packet ``propagation`` ns after the
+  last byte left;
+- while busy, the sender-side component is re-polled (:meth:`pull`)
+  when the channel frees or when credits come back, so the link never
+  idles while a sendable packet exists.
+
+A :class:`Link` is one *simplex* channel; the fabric creates two per
+cable.  :class:`CreditChannel` is the sender-side credit ledger, split
+out so the host NIC and switch tests can exercise it alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.network.packet import Packet
+from repro.sim.engine import Engine
+from repro.sim.units import serialization_ns
+
+__all__ = ["CreditChannel", "CreditError", "Link", "Receiver", "Sender"]
+
+
+class CreditError(RuntimeError):
+    """Credit accounting violated (send without credit / over-return)."""
+
+
+class Receiver(Protocol):
+    """Downstream side of a link: a switch input port or a host NIC."""
+
+    def accept(self, pkt: Packet, link: "Link") -> None: ...
+
+
+class Sender(Protocol):
+    """Upstream side of a link, re-polled when it may transmit again."""
+
+    def pull(self, link: "Link") -> None: ...
+
+
+class CreditChannel:
+    """Per-VC credit counters for one simplex channel.
+
+    Initialized to the downstream buffer capacity; ``consume`` on
+    transmit, ``replenish`` when the downstream frees space.  The sum of
+    credits held here and bytes occupied (or in flight) downstream is
+    invariant -- the credit-conservation property test pins that down.
+    """
+
+    __slots__ = ("initial", "credits")
+
+    def __init__(self, capacity_bytes_per_vc: tuple[int, ...]):
+        if len(capacity_bytes_per_vc) < 1:
+            raise ValueError(f"need >= 1 VC capacity, got {capacity_bytes_per_vc!r}")
+        for cap in capacity_bytes_per_vc:
+            if cap <= 0:
+                raise ValueError(f"VC capacity must be positive, got {cap}")
+        self.initial = tuple(capacity_bytes_per_vc)
+        self.credits = list(capacity_bytes_per_vc)
+
+    def can_send(self, vc: int, size: int) -> bool:
+        return self.credits[vc] >= size
+
+    def consume(self, vc: int, size: int) -> None:
+        if self.credits[vc] < size:
+            raise CreditError(
+                f"sending {size} B on vc{vc} with only {self.credits[vc]} credits"
+            )
+        self.credits[vc] -= size
+
+    def replenish(self, vc: int, size: int) -> None:
+        self.credits[vc] += size
+        if self.credits[vc] > self.initial[vc]:
+            raise CreditError(
+                f"vc{vc} credits ({self.credits[vc]}) exceed buffer size "
+                f"({self.initial[vc]}): double credit return"
+            )
+
+
+class Link:
+    """One simplex channel from ``(src, src_port)`` to ``(dst, dst_port)``."""
+
+    __slots__ = (
+        "engine",
+        "src",
+        "src_port",
+        "dst",
+        "dst_port",
+        "bytes_per_ns",
+        "prop_delay_ns",
+        "channel",
+        "busy",
+        "sender",
+        "receiver",
+        "packets_carried",
+        "bytes_carried",
+        "clock_domain",
+    )
+
+    def __init__(
+        self,
+        engine: Engine,
+        *,
+        src: str,
+        src_port: int,
+        dst: str,
+        dst_port: int,
+        bytes_per_ns: float,
+        prop_delay_ns: int,
+        buffer_bytes_per_vc: tuple[int, ...],
+    ):
+        if prop_delay_ns < 0:
+            raise ValueError(f"propagation delay must be >= 0, got {prop_delay_ns}")
+        self.engine = engine
+        self.src = src
+        self.src_port = src_port
+        self.dst = dst
+        self.dst_port = dst_port
+        self.bytes_per_ns = bytes_per_ns
+        self.prop_delay_ns = prop_delay_ns
+        self.channel = CreditChannel(buffer_bytes_per_vc)
+        self.busy = False
+        self.sender: Optional[Sender] = None
+        self.receiver: Optional[Receiver] = None
+        self.packets_carried = 0
+        self.bytes_carried = 0
+        #: When set (Section 3.3 mode), deadlines are carried across this
+        #: link as time-to-destination values and re-based onto the
+        #: receiving node's free-running clock.
+        self.clock_domain = None
+
+    @property
+    def link_id(self) -> tuple[str, int]:
+        """The directed-link key used by admission's bandwidth ledger."""
+        return (self.src, self.src_port)
+
+    # ------------------------------------------------------------------
+    def can_send(self, pkt: Packet) -> bool:
+        return not self.busy and self.channel.can_send(pkt.vc, pkt.size)
+
+    def transmit(self, pkt: Packet) -> None:
+        """Start clocking ``pkt`` out.  Caller must have checked :meth:`can_send`."""
+        if self.busy:
+            raise CreditError(f"link {self.src}:{self.src_port} is busy")
+        self.channel.consume(pkt.vc, pkt.size)
+        self.busy = True
+        tx_ns = serialization_ns(pkt.size, self.bytes_per_ns)
+        self.engine.after(tx_ns, self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self.busy = False
+        self.packets_carried += 1
+        self.bytes_carried += pkt.size
+        if self.prop_delay_ns:
+            self.engine.after(self.prop_delay_ns, self._deliver, pkt)
+        else:
+            self._deliver(pkt)
+        if self.sender is not None:
+            self.sender.pull(self)
+
+    def _deliver(self, pkt: Packet) -> None:
+        assert self.receiver is not None, f"link {self.link_id} has no receiver"
+        if self.clock_domain is not None:
+            # Section 3.3: the header carried TTD = deadline - local clock of
+            # the sender; the receiver reconstructs a deadline on *its* clock.
+            pkt.deadline = self.clock_domain.rebase(
+                pkt.deadline, self.src, self.dst, self.engine.now
+            )
+        self.receiver.accept(pkt, self)
+
+    # ------------------------------------------------------------------
+    def return_credit(self, vc: int, size: int) -> None:
+        """Called by the receiver when a packet leaves its input buffer.
+
+        The credit travels back over the wire, so the sender sees it a
+        propagation delay later.
+        """
+        self.engine.after(self.prop_delay_ns, self._credit_arrived, vc, size)
+
+    def _credit_arrived(self, vc: int, size: int) -> None:
+        self.channel.replenish(vc, size)
+        if self.sender is not None and not self.busy:
+            self.sender.pull(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.src}:{self.src_port}->{self.dst}:{self.dst_port}>"

@@ -1,0 +1,126 @@
+"""The network-level packet.
+
+Section 3 of the paper is explicit about what travels in a packet header:
+the **deadline tag** and the **routing information** -- nothing else.  The
+eligible-time tag exists only while the packet sits in the source
+interface and "is not transmitted in the header".  We keep it on the
+object for convenience but no switch-side code may read it;
+``tests/integration/test_invariants.py::TestHeaderDiscipline`` enforces
+that discipline statically.
+
+Deadlines are absolute simulated times.  Section 3.3's clock-trick
+(carrying the deadline as a *time-to-destination* and re-basing it on
+each hop's local clock) is implemented in :mod:`repro.core.ttd` and is
+provably equivalent to absolute deadlines, so the fast path uses absolute
+values directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.constants import N_VCS, VC_BEST_EFFORT, VC_REGULATED
+
+__all__ = ["Packet", "VC_REGULATED", "VC_BEST_EFFORT", "N_VCS"]
+
+_next_uid = 0
+
+
+def _take_uid() -> int:
+    global _next_uid
+    _next_uid += 1
+    return _next_uid
+
+
+class Packet:
+    """One network-level packet (<= MTU bytes).
+
+    Attributes mirror the paper's header plus bookkeeping for statistics:
+
+    - ``flow_id``/``seq``: flow identity and per-flow sequence number
+      (used only by tests/stats to check in-order delivery -- switches
+      never look at them, exactly as in the paper).
+    - ``deadline``: absolute cycle by which the packet should reach its
+      destination; the only field switch arbiters may inspect.
+    - ``eligible``: earliest injection time; meaningful only at the source.
+    - ``path``: source route -- output-port index to take at each switch.
+    - ``hop``: how many switches have been traversed so far.
+    - ``msg_id``/``msg_seq``/``msg_parts``: application message (video
+      frame, control message, burst) this packet is a segment of; used to
+      report *frame* latency as Figure 3 does.
+    - ``birth``: when the application handed the message to the NIC;
+      ``inject``: when the first byte entered the network;
+      ``deliver``: when the last byte reached the destination NIC.
+    """
+
+    __slots__ = (
+        "uid",
+        "flow_id",
+        "seq",
+        "src",
+        "dst",
+        "size",
+        "vc",
+        "tclass",
+        "deadline",
+        "eligible",
+        "path",
+        "hop",
+        "msg_id",
+        "msg_seq",
+        "msg_parts",
+        "birth",
+        "inject",
+        "deliver",
+    )
+
+    def __init__(
+        self,
+        *,
+        flow_id: int,
+        seq: int,
+        src: int,
+        dst: int,
+        size: int,
+        vc: int,
+        tclass: str,
+        deadline: int,
+        eligible: int = 0,
+        path: Tuple[int, ...] = (),
+        msg_id: int = 0,
+        msg_seq: int = 0,
+        msg_parts: int = 1,
+        birth: int = 0,
+    ):
+        if size <= 0:
+            raise ValueError(f"packet size must be positive, got {size}")
+        if vc < 0:
+            raise ValueError(f"vc must be a non-negative channel index, got {vc}")
+        self.uid = _take_uid()
+        self.flow_id = flow_id
+        self.seq = seq
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.vc = vc
+        self.tclass = tclass
+        self.deadline = deadline
+        self.eligible = eligible
+        self.path = path
+        self.hop = 0
+        self.msg_id = msg_id
+        self.msg_seq = msg_seq
+        self.msg_parts = msg_parts
+        self.birth = birth
+        self.inject: Optional[int] = None
+        self.deliver: Optional[int] = None
+
+    def next_output_port(self) -> int:
+        """Source routing: the output port to take at the current switch."""
+        return self.path[self.hop]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet f{self.flow_id}#{self.seq} {self.src}->{self.dst} "
+            f"{self.size}B vc{self.vc} D={self.deadline}>"
+        )

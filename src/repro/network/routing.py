@@ -1,0 +1,143 @@
+"""Fixed source routing over the MIN (up*/down* paths).
+
+The paper mandates fixed routing: packets follow the exact path their
+flow reserved, so admission control's bandwidth accounting holds and
+packets of a flow can never overtake each other on different paths.
+
+In a folded MIN / fat-tree, all minimal host-to-host paths go *up* to a
+common-ancestor stage and then *down* -- the classic deadlock-free
+up*/down* discipline.  :func:`compute_updown_paths` enumerates those
+minimal paths (one per choice of ancestor switch), and
+:class:`RoutingTable` caches them per host pair and converts them to:
+
+- ``ports``: the output-port index to take at each *switch* (the source
+  route carried in the packet header), and
+- ``links``: the directed link ids (``(node, port)`` of the sending
+  side) used by the admission controller's bandwidth ledger -- including
+  the host's injection link and the final link down to the destination
+  host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.network.topology import Topology, TopologyError
+
+__all__ = ["RoutePath", "RoutingTable", "compute_updown_paths"]
+
+LinkId = Tuple[str, int]  # (sending node, sending port)
+
+
+@dataclass(frozen=True)
+class RoutePath:
+    """One fixed path between two hosts."""
+
+    src: int
+    dst: int
+    #: node ids visited, host to host inclusive.
+    nodes: Tuple[str, ...]
+    #: output port at each switch along the way (the packet's source route).
+    ports: Tuple[int, ...]
+    #: directed links traversed, as (sender node, sender port).
+    links: Tuple[LinkId, ...]
+
+    @property
+    def hops(self) -> int:
+        """Number of switches traversed."""
+        return len(self.ports)
+
+
+def _paths_up_down(topo: Topology, src_host: str, dst_host: str) -> List[Tuple[str, ...]]:
+    """All minimal up*/down* node sequences between two distinct hosts.
+
+    Walks up from both hosts simultaneously; at the first stage where the
+    two ascents can meet in a common switch, each such switch yields one
+    path.  In a (folded) MIN the up-neighbour sets are deterministic, so
+    this enumerates exactly the minimal paths without a graph search.
+    """
+    (src_attach,) = [ref for ref in topo.ports[src_host] if ref is not None]
+    (dst_attach,) = [ref for ref in topo.ports[dst_host] if ref is not None]
+    up_from_src: List[Tuple[str, ...]] = [(src_host, src_attach[0])]
+    up_from_dst: List[Tuple[str, ...]] = [(dst_host, dst_attach[0])]
+
+    for _stage in range(len(topo.switch_ids) + 1):
+        # Can any src-ascent meet any dst-ascent at its last switch?
+        dst_tails: Dict[str, Tuple[str, ...]] = {}
+        for d_path in up_from_dst:
+            # Keep the first (deterministic) ascent per meeting switch.
+            dst_tails.setdefault(d_path[-1], d_path)
+        found: List[Tuple[str, ...]] = []
+        for s_path in up_from_src:
+            meet = s_path[-1]
+            if meet in dst_tails:
+                down = dst_tails[meet]
+                found.append(s_path + tuple(reversed(down[:-1])))
+        if found:
+            return found
+
+        def ascend(paths: List[Tuple[str, ...]]) -> List[Tuple[str, ...]]:
+            grown: List[Tuple[str, ...]] = []
+            for path in paths:
+                node = path[-1]
+                level = topo.levels[node]
+                for neighbor in topo.neighbors(node):
+                    if not topo.is_host(neighbor) and topo.levels[neighbor] == level + 1:
+                        grown.append(path + (neighbor,))
+            return grown
+
+        up_from_src = ascend(up_from_src)
+        up_from_dst = ascend(up_from_dst)
+        if not up_from_src or not up_from_dst:
+            break
+    raise TopologyError(f"no up*/down* path between {src_host} and {dst_host}")
+
+
+def compute_updown_paths(topo: Topology, src: int, dst: int) -> Tuple[RoutePath, ...]:
+    """All minimal fixed paths from host index ``src`` to host index ``dst``."""
+    if src == dst:
+        raise ValueError(f"src and dst are the same host ({src})")
+    src_host = topo.host_id(src)
+    dst_host = topo.host_id(dst)
+    routes: List[RoutePath] = []
+    for nodes in _paths_up_down(topo, src_host, dst_host):
+        ports: List[int] = []
+        links: List[LinkId] = []
+        for here, there in zip(nodes, nodes[1:]):
+            out_port = topo.port_to(here, there)
+            links.append((here, out_port))
+            if not topo.is_host(here):
+                ports.append(out_port)
+        routes.append(
+            RoutePath(
+                src=src,
+                dst=dst,
+                nodes=tuple(nodes),
+                ports=tuple(ports),
+                links=tuple(links),
+            )
+        )
+    # Stable order: admission tie-breaks then pick the same path every run.
+    routes.sort(key=lambda r: r.nodes)
+    return tuple(routes)
+
+
+class RoutingTable:
+    """Per-pair cache of candidate paths (lazy; MINs have 16k pairs)."""
+
+    def __init__(self, topo: Topology):
+        self.topo = topo
+        self._cache: Dict[Tuple[int, int], Tuple[RoutePath, ...]] = {}
+
+    def candidates(self, src: int, dst: int) -> Tuple[RoutePath, ...]:
+        key = (src, dst)
+        paths = self._cache.get(key)
+        if paths is None:
+            paths = compute_updown_paths(self.topo, src, dst)
+            self._cache[key] = paths
+        return paths
+
+    def __call__(self, src: int, dst: int) -> Tuple[RoutePath, ...]:
+        """Alias so the table itself is a valid admission ``candidates``."""
+        return self.candidates(src, dst)

@@ -1,0 +1,191 @@
+"""The discrete-event simulation kernel.
+
+A classic calendar-heap event loop.  Design notes, informed by profiling
+(the loop body is the hottest code in the whole library):
+
+- Heap entries are plain ``(time, seq, handle)`` tuples: the sequence
+  number is unique, so tuple comparison resolves in C without ever
+  touching the handle -- profiling showed object-level ``__lt__`` was the
+  single largest cost before this change.  The monotonically increasing
+  sequence number also makes simultaneous events fire in scheduling
+  order, keeping runs bit-for-bit reproducible.
+- Cancellation is by tombstone: :meth:`EventHandle.cancel` flags the entry
+  and the loop discards it when popped.  This avoids O(n) heap surgery.
+- Callbacks receive their pre-bound arguments; there is no per-event
+  dictionary or keyword packing on the hot path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+__all__ = ["Engine", "EventHandle", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling requests (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """A scheduled callback.  Returned by :meth:`Engine.at` / :meth:`Engine.after`."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent; safe after firing."""
+        self.cancelled = True
+        # Drop references eagerly: a cancelled event may sit in the heap for
+        # a long simulated time and would otherwise pin its arguments alive.
+        self.fn = _noop
+        self.args = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time} seq={self.seq} {state}>"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Engine:
+    """Event loop with integer-nanosecond virtual time.
+
+    Typical use::
+
+        eng = Engine()
+        eng.after(100, my_callback, arg1, arg2)
+        eng.run(until=1_000_000)
+
+    The engine never advances past ``until``; events scheduled exactly at
+    ``until`` do fire (closed interval), which lets warm-up and measurement
+    windows abut without gaps.
+    """
+
+    def __init__(self, start_time: int = 0):
+        if start_time < 0:
+            raise SimulationError(f"start time must be >= 0, got {start_time}")
+        self._now: int = start_time
+        self._seq: int = 0
+        #: heap of (time, seq, handle); seq is unique, so comparisons never
+        #: reach the handle (pure C tuple ordering).
+        self._heap: list[tuple[int, int, EventHandle]] = []
+        self._running = False
+        self._stopped = False
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------
+    # time & introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callbacks fired so far (for microbenchmarks/tests)."""
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        """Number of heap entries, *including* cancelled tombstones."""
+        return len(self._heap)
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next live event, or ``None`` if the heap is empty."""
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def at(self, time: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time}, current time is {self._now}"
+            )
+        self._seq += 1
+        ev = EventHandle(time, self._seq, fn, args)
+        heapq.heappush(self._heap, (time, self._seq, ev))
+        return ev
+
+    def after(self, delay: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` nanoseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.at(self._now + delay, fn, *args)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run events in timestamp order.
+
+        Stops when the heap drains, when the next event lies beyond
+        ``until``, after ``max_events`` callbacks, or when :meth:`stop` is
+        called from inside a callback.  Returns the number of callbacks
+        executed by *this* call.
+
+        When stopping because of ``until``, the clock is advanced to
+        ``until`` so back-to-back ``run(until=...)`` calls observe
+        contiguous time.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant: run() called from a callback")
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until} is in the past (now={self._now})")
+
+        heap = self._heap
+        pop = heapq.heappop
+        executed = 0
+        self._running = True
+        self._stopped = False
+        try:
+            while heap:
+                entry = heap[0]
+                ev = entry[2]
+                if ev.cancelled:
+                    pop(heap)
+                    continue
+                if until is not None and entry[0] > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                pop(heap)
+                self._now = entry[0]
+                ev.fn(*ev.args)
+                executed += 1
+                if self._stopped:
+                    break
+        finally:
+            self._running = False
+            self._events_executed += executed
+        if until is not None and not self._stopped and (
+            max_events is None or executed < max_events
+        ):
+            self._now = max(self._now, until)
+        return executed
+
+    def run_all(self, max_events: int = 50_000_000) -> int:
+        """Run until the event heap is empty (bounded by ``max_events``)."""
+        return self.run(max_events=max_events)
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` call to return after this callback."""
+        self._stopped = True

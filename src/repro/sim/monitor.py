@@ -1,0 +1,80 @@
+"""Structured event tracing.
+
+A :class:`Trace` collects ``(time, topic, payload)`` records from any
+component that was handed the trace object.  Traces are for debugging and
+for the fine-grained assertions in the integration tests (e.g. "packet X
+left switch S before packet Y"); the statistics used by the benchmark
+harness are collected by the cheaper accumulators in :mod:`repro.stats`.
+
+:class:`NullTrace` is the default no-op sink; components call
+``trace.record(...)`` unconditionally and the null implementation makes
+that a cheap no-op, keeping the hot path free of ``if`` clutter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, NamedTuple, Optional, Set
+
+__all__ = ["NullTrace", "Trace", "TraceRecord"]
+
+
+class TraceRecord(NamedTuple):
+    time: int
+    topic: str
+    payload: tuple
+
+
+class NullTrace:
+    """Discards everything.  ``enabled`` lets callers skip payload building."""
+
+    enabled = False
+
+    def record(self, time: int, topic: str, *payload: Any) -> None:
+        return None
+
+    def subscribe(self, topic: str, fn: Callable[[TraceRecord], None]) -> None:
+        raise TypeError("NullTrace cannot deliver records; use Trace instead")
+
+
+class Trace:
+    """Records events, optionally filtered to a set of topics.
+
+    >>> t = Trace(topics={"switch.forward"})
+    >>> t.record(10, "switch.forward", "pkt1")
+    >>> t.record(11, "link.busy", "ignored")
+    >>> [r.topic for r in t.records]
+    ['switch.forward']
+    """
+
+    enabled = True
+
+    def __init__(self, topics: Optional[Iterable[str]] = None, capacity: Optional[int] = None):
+        self.topics: Optional[Set[str]] = set(topics) if topics is not None else None
+        self.capacity = capacity
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+        self._subscribers: dict[str, list[Callable[[TraceRecord], None]]] = {}
+
+    def record(self, time: int, topic: str, *payload: Any) -> None:
+        if self.topics is not None and topic not in self.topics:
+            return
+        rec = TraceRecord(time, topic, payload)
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+        else:
+            self.records.append(rec)
+        for fn in self._subscribers.get(topic, ()):
+            fn(rec)
+
+    def subscribe(self, topic: str, fn: Callable[[TraceRecord], None]) -> None:
+        """Call ``fn`` synchronously for every record on ``topic``."""
+        if self.topics is not None:
+            self.topics.add(topic)
+        self._subscribers.setdefault(topic, []).append(fn)
+
+    def by_topic(self, topic: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.topic == topic]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0

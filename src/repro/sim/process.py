@@ -1,0 +1,128 @@
+"""Coroutine-style processes on top of the event kernel.
+
+The hot simulation paths (switches, links, arbiters) use plain callbacks
+for speed, but workload scripts and examples read much better as
+sequential processes.  A process is a generator that yields:
+
+- :class:`Delay` -- suspend for a number of nanoseconds;
+- :class:`Signal` -- suspend until another process triggers the signal.
+
+Example::
+
+    def producer(eng, sig):
+        for i in range(3):
+            yield Delay(1000)
+            sig.trigger(i)
+
+    def consumer(eng, sig):
+        while True:
+            value = yield sig
+            print(eng.now, value)
+
+    sig = Signal()
+    process(eng, producer(eng, sig))
+    process(eng, consumer(eng, sig))
+    eng.run_all()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import Engine, SimulationError
+
+__all__ = ["Delay", "Process", "Signal", "process"]
+
+
+class Delay:
+    """Yielded by a process to sleep for ``ns`` nanoseconds."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: int):
+        if ns < 0:
+            raise ValueError(f"delay must be >= 0, got {ns}")
+        self.ns = ns
+
+
+class Signal:
+    """A broadcast wake-up point.
+
+    Processes yield the signal to wait; :meth:`trigger` wakes *all* current
+    waiters, passing them ``value`` as the result of their ``yield``.
+    Waiters registered after the trigger wait for the next one (no latching).
+    """
+
+    __slots__ = ("_waiters",)
+
+    def __init__(self) -> None:
+        self._waiters: list["Process"] = []
+
+    def trigger(self, value: Any = None) -> int:
+        """Wake all waiting processes; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._resume_soon(value)
+        return len(waiters)
+
+    def _wait(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+
+class Process:
+    """A running generator bound to an engine.  Create via :func:`process`."""
+
+    __slots__ = ("engine", "_gen", "alive", "value", "_done_signal")
+
+    def __init__(self, engine: Engine, gen: Generator[Any, Any, Any]):
+        self.engine = engine
+        self._gen = gen
+        self.alive = True
+        #: Return value of the generator once finished.
+        self.value: Any = None
+        self._done_signal: Optional[Signal] = None
+
+    @property
+    def done(self) -> Signal:
+        """Signal triggered (with the return value) when the process ends."""
+        if self._done_signal is None:
+            self._done_signal = Signal()
+        return self._done_signal
+
+    def _resume_soon(self, value: Any) -> None:
+        self.engine.after(0, self._step, value)
+
+    def _step(self, send_value: Any) -> None:
+        if not self.alive:
+            return
+        try:
+            yielded = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.alive = False
+            self.value = stop.value
+            if self._done_signal is not None:
+                self._done_signal.trigger(stop.value)
+            return
+        if isinstance(yielded, Delay):
+            self.engine.after(yielded.ns, self._step, None)
+        elif isinstance(yielded, Signal):
+            yielded._wait(self)
+        elif isinstance(yielded, Process):
+            yielded.done._wait(self)
+        else:
+            self.alive = False
+            raise SimulationError(
+                f"process yielded {yielded!r}; expected Delay, Signal, or Process"
+            )
+
+    def kill(self) -> None:
+        """Stop the process permanently.  Pending wake-ups become no-ops."""
+        self.alive = False
+        self._gen.close()
+
+
+def process(engine: Engine, gen: Generator[Any, Any, Any]) -> Process:
+    """Start ``gen`` as a process; its first step runs at the current time."""
+    proc = Process(engine, gen)
+    proc._resume_soon(None)
+    return proc

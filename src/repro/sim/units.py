@@ -1,0 +1,74 @@
+"""Time and bandwidth units.
+
+The whole library uses **integer nanoseconds** for simulated time and
+**bytes** for data quantities.  This choice is deliberate:
+
+- the paper's links run at 8 Gb/s, which is exactly 1 byte per
+  nanosecond, so transmission times of whole packets are exact integers;
+- integer timestamps make event ordering deterministic and portable
+  (no floating-point tie ambiguity between platforms);
+- nanosecond resolution is finer than any latency the paper reports
+  (microseconds to milliseconds), so no quantization is visible.
+
+Bandwidths are expressed as ``bytes per nanosecond`` (a float; 8 Gb/s ==
+1.0 B/ns).  Serialization delays are rounded up to the next nanosecond so
+that a busy resource is never freed early.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: One microsecond in simulation time units (nanoseconds).
+US = 1_000
+#: One millisecond in simulation time units.
+MS = 1_000_000
+#: One second in simulation time units.
+S = 1_000_000_000
+
+#: One kibibyte / mebibyte in bytes (buffer and MTU sizes in the paper are
+#: powers of two: 2 KB MTU, 8 KB buffer per VC).
+KB = 1_024
+MB = 1_048_576
+
+
+def gbps(gigabits_per_second: float) -> float:
+    """Convert a link rate in gigabits per second to bytes per nanosecond.
+
+    >>> gbps(8.0)
+    1.0
+    """
+    if gigabits_per_second <= 0:
+        raise ValueError(f"link rate must be positive, got {gigabits_per_second}")
+    return gigabits_per_second / 8.0
+
+
+def serialization_ns(size_bytes: int, bytes_per_ns: float) -> int:
+    """Time to clock ``size_bytes`` onto a link of the given rate.
+
+    Rounded up to a whole nanosecond so resources are never released
+    before the last byte has left.
+
+    >>> serialization_ns(2048, gbps(8.0))
+    2048
+    """
+    if size_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {size_bytes}")
+    if bytes_per_ns <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bytes_per_ns}")
+    return math.ceil(size_bytes / bytes_per_ns)
+
+
+def bytes_per_ns_to_gbps(bytes_per_ns: float) -> float:
+    """Inverse of :func:`gbps`, for reporting."""
+    return bytes_per_ns * 8.0
+
+
+def ns_to_us(ns: float) -> float:
+    """Nanoseconds to microseconds (for human-facing reports)."""
+    return ns / US
+
+
+def ns_to_ms(ns: float) -> float:
+    """Nanoseconds to milliseconds (for human-facing reports)."""
+    return ns / MS

@@ -1,0 +1,61 @@
+"""Empirical cumulative distribution function.
+
+Figure 2 and Figure 3 of the paper plot the CDF of (packet / frame)
+latency at full input load; :class:`EmpiricalCDF` provides the two
+queries those plots need: quantiles (for percentile tables) and
+``P(X <= x)`` (for "more than 99% of frames within 10 +/- 1 ms" style
+claims).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["EmpiricalCDF"]
+
+
+class EmpiricalCDF:
+    """CDF of a finite sample (e.g. a :class:`~repro.stats.reservoir.Reservoir`)."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, samples: Iterable[float]):
+        self.values: List[float] = sorted(samples)
+        if not self.values:
+            raise ValueError("cannot build a CDF from an empty sample")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def prob_leq(self, x: float) -> float:
+        """P(X <= x)."""
+        return bisect_right(self.values, x) / len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile, 0 <= q <= 1, by the nearest-rank method."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if q == 0.0:
+            return self.values[0]
+        rank = max(1, -(-q * len(self.values) // 1))  # ceil(q * n)
+        return self.values[int(rank) - 1]
+
+    @property
+    def min(self) -> float:
+        return self.values[0]
+
+    @property
+    def max(self) -> float:
+        return self.values[-1]
+
+    def curve(self, points: int = 100) -> List[Tuple[float, float]]:
+        """(x, P(X <= x)) pairs for plotting/printing the CDF shape."""
+        if points < 2:
+            raise ValueError(f"need at least 2 points, got {points}")
+        n = len(self.values)
+        out: List[Tuple[float, float]] = []
+        for i in range(points):
+            index = min(n - 1, round(i * (n - 1) / (points - 1)))
+            out.append((self.values[index], (index + 1) / n))
+        return out

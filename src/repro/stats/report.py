@@ -1,0 +1,67 @@
+"""Fixed-width text tables for experiment output.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; this module owns the formatting so every bench and example reports
+consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_row"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_row(cells: Sequence, widths: Sequence[int]) -> str:
+    parts = []
+    for cell, width in zip(cells, widths):
+        text = _fmt(cell)
+        parts.append(text.rjust(width) if _is_numeric(cell) else text.ljust(width))
+    return "  ".join(parts).rstrip()
+
+
+def _is_numeric(cell) -> bool:
+    return isinstance(cell, (int, float)) and not isinstance(cell, bool)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+) -> str:
+    """Render a simple aligned table.
+
+    >>> print(format_table(["arch", "lat"], [["ideal", 1.5], ["simple", 2.0]]))
+    arch    lat
+    ------  ---
+    ideal   1.5
+    simple    2
+    """
+    materialized: List[Sequence] = [list(r) for r in rows]
+    widths = [len(h) for h in headers]
+    rendered_rows = []
+    for row in materialized:
+        rendered = [_fmt(c) for c in row]
+        rendered_rows.append((row, rendered))
+        for i, text in enumerate(rendered):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(text))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(format_row(headers, widths))
+    lines.append("  ".join("-" * w for w in widths))
+    for row, _ in rendered_rows:
+        lines.append(format_row(row, widths))
+    return "\n".join(lines)

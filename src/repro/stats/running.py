@@ -1,0 +1,66 @@
+"""Streaming first/second-moment accumulator (Welford's algorithm).
+
+O(1) memory per metric; numerically stable for the long streams a
+saturated 128-host run produces (hundreds of millions of samples would
+overflow a naive sum-of-squares in float64 precision terms).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["RunningStats"]
+
+
+class RunningStats:
+    """Count, mean, variance, min and max of a stream of numbers."""
+
+    __slots__ = ("count", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 for fewer than two samples)."""
+        return self._m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two accumulators (parallel-run reduction)."""
+        merged = RunningStats()
+        total = self.count + other.count
+        if total == 0:
+            return merged
+        merged.count = total
+        delta = other.mean - self.mean
+        merged.mean = self.mean + delta * other.count / total
+        merged._m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / total
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.count == 0:
+            return "RunningStats(empty)"
+        return (
+            f"RunningStats(n={self.count}, mean={self.mean:.3f}, "
+            f"std={self.std:.3f}, min={self.min:.3f}, max={self.max:.3f})"
+        )

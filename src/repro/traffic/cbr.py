@@ -1,0 +1,59 @@
+"""Constant-bit-rate source.
+
+Not part of the paper's Table 1 mix, but indispensable for unit tests
+(deterministic arrivals make assertions exact) and for examples such as
+storage streams.  Emits fixed-size messages at fixed intervals on one
+flow, which may be regulated (reserved) or best-effort.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.flow import FlowKind, FlowState
+from repro.network.fabric import Fabric
+from repro.traffic.base import TrafficSource
+
+__all__ = ["CbrSource"]
+
+
+class CbrSource(TrafficSource):
+    """Fixed-size messages every ``message_bytes / rate`` nanoseconds."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        src: int,
+        dst: int,
+        rate_bytes_per_ns: float,
+        *,
+        message_bytes: int = 2048,
+        tclass: str = "cbr",
+        vc: Optional[int] = None,
+        smoothing: bool = False,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(fabric, src, f"cbr@h{src}->h{dst}", rng or random.Random(0))
+        if rate_bytes_per_ns <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bytes_per_ns}")
+        if message_bytes <= 0:
+            raise ValueError(f"message size must be positive, got {message_bytes}")
+        self.dst = dst
+        self.rate = rate_bytes_per_ns
+        self.message_bytes = message_bytes
+        self.period_ns = message_bytes / rate_bytes_per_ns
+        self.flow: FlowState = fabric.open_flow(
+            src,
+            dst,
+            tclass,
+            kind=FlowKind.RATE,
+            vc=vc,
+            bw_bytes_per_ns=rate_bytes_per_ns,
+            smoothing=smoothing,
+        )
+
+    def _emit(self) -> Optional[float]:
+        self.fabric.submit(self.flow, self.message_bytes)
+        self._account(self.message_bytes)
+        return self.period_ns

@@ -1,0 +1,80 @@
+"""Control traffic: small latency-critical messages (Table 1, row 1).
+
+Models management/administration messages: sizes uniform in
+[128 B, 2 KB], Poisson arrivals, destinations uniform over the other
+hosts.  Per Section 3.1, control traffic gets **no admission control**
+and its deadlines are computed with ``BW_avg`` equal to the link
+bandwidth, so a control packet's deadline is essentially
+``now + serialization time`` -- the earliest possible -- giving it
+maximum priority under EDF.
+
+One host keeps a *single* control record: all control flows from this
+source share one deadline stamper (one virtual clock), exactly as a
+per-host control record would in hardware.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.core.deadline import ControlStamper
+from repro.core.flow import FlowKind, FlowState
+from repro.network.fabric import Fabric
+from repro.traffic.base import TrafficSource
+
+__all__ = ["ControlSource"]
+
+
+class ControlSource(TrafficSource):
+    """Poisson stream of small control messages from one host."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        src: int,
+        rate_bytes_per_ns: float,
+        rng: random.Random,
+        *,
+        size_range: Tuple[int, int] = (128, 2048),
+        tclass: str = "control",
+        vc: Optional[int] = None,
+    ):
+        super().__init__(fabric, src, f"control@h{src}", rng)
+        if rate_bytes_per_ns <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bytes_per_ns}")
+        lo, hi = size_range
+        if not 0 < lo <= hi:
+            raise ValueError(f"bad size range {size_range}")
+        self.rate = rate_bytes_per_ns
+        self.size_range = size_range
+        self.tclass = tclass
+        self.vc = vc
+        self.mean_size = (lo + hi) / 2.0
+        self.mean_gap_ns = self.mean_size / rate_bytes_per_ns
+        #: one shared per-host control record (Section 3.1)
+        self.stamper = ControlStamper(fabric.params.bytes_per_ns)
+        self._flows: Dict[int, FlowState] = {}
+
+    def _flow_to(self, dst: int) -> FlowState:
+        flow = self._flows.get(dst)
+        if flow is None:
+            flow = self.fabric.open_flow(
+                self.src, dst, self.tclass, kind=FlowKind.CONTROL, vc=self.vc
+            )
+            # All control flows from this host share one virtual clock.
+            flow.stamper = self.stamper
+            self._flows[dst] = flow
+        return flow
+
+    def _pick_dst(self) -> int:
+        n = self.fabric.topology.n_hosts
+        dst = self.rng.randrange(n - 1)
+        return dst if dst < self.src else dst + 1
+
+    def _emit(self) -> Optional[float]:
+        size = self.rng.randint(*self.size_range)
+        flow = self._flow_to(self._pick_dst())
+        self.fabric.submit(flow, size)
+        self._account(size)
+        return self.rng.expovariate(1.0 / self.mean_gap_ns)

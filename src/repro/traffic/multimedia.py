@@ -1,0 +1,94 @@
+"""Multimedia traffic: MPEG-4-like video streams (Table 1, row 2).
+
+The paper transmits actual MPEG-4 traces; lacking those, each
+:class:`VideoStream` synthesizes a GoP-structured sequence (I/P/B frame
+pattern, lognormal size variation, frames clipped to the paper's
+[1 KB, 120 KB] range) at a configurable frame rate and average bit rate.
+That reproduces the two properties the deadline algorithm interacts
+with -- bursts of packets (a whole frame arrives at once) and widely
+varying frame sizes -- which is what the frame-based deadline rule of
+Section 3.1 was designed for.
+
+Each stream is one **admitted flow**: it reserves its average bandwidth
+end-to-end, stamps frame-based deadlines against the configured target
+latency (10 ms in the paper), and uses eligible-time smoothing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.flow import FlowKind, FlowState
+from repro.network.fabric import Fabric
+from repro.sim import units
+from repro.traffic.base import TrafficSource
+from repro.traffic.distributions import GopFrameSizes
+
+__all__ = ["VideoStream"]
+
+
+class VideoStream(TrafficSource):
+    """One video stream from ``src`` to ``dst``.
+
+    ``rate_bytes_per_ns`` is the stream's average bandwidth (reserved at
+    admission); the mean frame size is ``rate / fps``.
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        src: int,
+        dst: int,
+        rng: random.Random,
+        *,
+        rate_bytes_per_ns: float = 1.5e6 / units.S,  # 1.5 MB/s in B/ns
+        fps: float = 25.0,
+        target_latency_ns: int = 10 * units.MS,
+        smoothing: bool = True,
+        gop_pattern: str = "IBBPBBPBBPBB",
+        size_sigma: float = 0.25,
+        tclass: str = "multimedia",
+        vc: Optional[int] = None,
+    ):
+        super().__init__(fabric, src, f"video@h{src}->h{dst}", rng)
+        if rate_bytes_per_ns <= 0:
+            raise ValueError(f"stream rate must be positive, got {rate_bytes_per_ns}")
+        if fps <= 0:
+            raise ValueError(f"fps must be positive, got {fps}")
+        self.dst = dst
+        self.rate = rate_bytes_per_ns
+        self.frame_period_ns = units.S / fps
+        mean_frame = rate_bytes_per_ns * self.frame_period_ns
+        self.frames = GopFrameSizes(
+            mean_frame,
+            pattern=gop_pattern,
+            sigma=size_sigma,
+            # Join mid-GoP at a random phase, like a real trace excerpt.
+            start_index=rng.randrange(len(gop_pattern)),
+        )
+        self.flow: FlowState = fabric.open_flow(
+            src,
+            dst,
+            tclass,
+            kind=FlowKind.FRAME,
+            vc=vc,
+            bw_bytes_per_ns=rate_bytes_per_ns,
+            target_latency_ns=target_latency_ns,
+            smoothing=smoothing,
+        )
+        self.frames_sent = 0
+
+    def start(self, at: Optional[int] = None) -> None:
+        """Default start: a random phase within one frame period, so the
+        many streams of a host do not all burst in the same cycle."""
+        if at is None:
+            at = self.engine.now + self.rng.randrange(max(1, round(self.frame_period_ns)))
+        super().start(at)
+
+    def _emit(self) -> Optional[float]:
+        size = self.frames.next_frame(self.rng)
+        self.fabric.submit(self.flow, size)
+        self._account(size)
+        self.frames_sent += 1
+        return self.frame_period_ns

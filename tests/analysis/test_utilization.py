@@ -1,0 +1,90 @@
+"""Tests for the link-utilization analysis."""
+
+import pytest
+
+from repro.analysis.utilization import measure_utilization
+from repro.core.flow import FlowKind
+from repro.sim import units
+
+
+@pytest.fixture
+def loaded_fabric(make_fabric, streams):
+    from repro.experiments.config import scaled_video_mix
+    from repro.traffic.mix import build_mix
+
+    fabric = make_fabric("advanced-2vc")
+    mix = build_mix(fabric, streams, scaled_video_mix(0.8, 0.02))
+    mix.start()
+    fabric.run(until=400 * units.US)
+    return fabric
+
+
+class TestMeasureUtilization:
+    def test_one_entry_per_simplex_link(self, loaded_fabric):
+        report = measure_utilization(loaded_fabric, 400 * units.US)
+        assert len(report.links) == len(loaded_fabric.links)
+
+    def test_utilization_bounded(self, loaded_fabric):
+        report = measure_utilization(loaded_fabric, 400 * units.US)
+        for load in report.links:
+            assert 0.0 <= load.utilization <= 1.0
+
+    def test_tier_classification(self, loaded_fabric):
+        report = measure_utilization(loaded_fabric, 400 * units.US)
+        tiers = {l.tier for l in report.links}
+        assert tiers == {"host-up", "host-down", "fabric-up", "fabric-down"}
+
+    def test_conservation_up_equals_down_at_spines(self, loaded_fabric):
+        """Spines neither create nor absorb traffic: bytes entering the
+        spine layer equal bytes leaving it."""
+        report = measure_utilization(loaded_fabric, 400 * units.US)
+        up = sum(l.bytes for l in report.links if l.tier == "fabric-up")
+        down = sum(l.bytes for l in report.links if l.tier == "fabric-down")
+        # In-flight residue at run end bounds the difference.
+        assert abs(up - down) <= 64 * 2048
+
+    def test_hotspots_sorted(self, loaded_fabric):
+        report = measure_utilization(loaded_fabric, 400 * units.US)
+        hot = report.hotspots(4)
+        assert len(hot) == 4
+        assert all(
+            a.utilization >= b.utilization for a, b in zip(hot, hot[1:])
+        )
+
+    def test_admission_balances_the_spine_layer(self, loaded_fabric):
+        """The load-balanced path assignment spreads uplink load: Jain's
+        index near 1 across the leaf->spine links."""
+        report = measure_utilization(loaded_fabric, 400 * units.US)
+        assert report.fairness_index("fabric-up") > 0.9
+
+    def test_table_renders(self, loaded_fabric):
+        report = measure_utilization(loaded_fabric, 400 * units.US)
+        text = report.table()
+        assert "Hottest links" in text
+        assert "fabric-up" in text
+
+    def test_bad_window(self, loaded_fabric):
+        with pytest.raises(ValueError):
+            measure_utilization(loaded_fabric, 0)
+
+    def test_idle_fabric_all_zero(self, make_fabric):
+        fabric = make_fabric()
+        report = measure_utilization(fabric, 1000)
+        assert all(l.utilization == 0.0 for l in report.links)
+        assert report.fairness_index() == 1.0  # vacuous fairness
+
+    def test_single_flow_lights_one_path(self, make_fabric):
+        fabric = make_fabric()
+        flow = fabric.open_flow(0, 15, "control", kind=FlowKind.CONTROL)
+        fabric.submit(flow, 10_000)
+        fabric.run(until=200 * units.US)
+        report = measure_utilization(fabric, 200 * units.US)
+        used = [l for l in report.links if l.bytes > 0]
+        # host->leaf, leaf->spine, spine->leaf, leaf->host: 4 links.
+        assert len(used) == 4
+        assert {l.tier for l in used} == {
+            "host-up",
+            "fabric-up",
+            "fabric-down",
+            "host-down",
+        }

@@ -1,0 +1,138 @@
+"""Tests for centralized admission control."""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import pytest
+
+from repro.core.admission import AdmissionController, AdmissionError
+
+
+@dataclass(frozen=True)
+class FakePath:
+    ports: Tuple[int, ...]
+    links: Tuple[str, ...]
+
+
+def two_parallel_paths(src, dst):
+    """Two disjoint candidate paths, as a MIN with two spines offers."""
+    return (
+        FakePath(ports=(0,), links=(f"{src}-A", f"A-{dst}")),
+        FakePath(ports=(1,), links=(f"{src}-B", f"B-{dst}")),
+    )
+
+
+def single_shared_path(src, dst):
+    return (FakePath(ports=(0,), links=("shared",)),)
+
+
+class TestReservation:
+    def test_reserve_returns_a_path(self):
+        ctl = AdmissionController(two_parallel_paths, link_capacity=1.0)
+        res = ctl.reserve(1, 0, 1, 0.5)
+        assert res.flow_id == 1
+        assert res.bw_bytes_per_ns == 0.5
+        assert ctl.reservation_count == 1
+
+    def test_load_balances_across_candidates(self):
+        ctl = AdmissionController(two_parallel_paths, link_capacity=1.0)
+        first = ctl.reserve(1, 0, 1, 0.4)
+        second = ctl.reserve(2, 0, 1, 0.4)
+        assert first.path.links != second.path.links  # spread over both spines
+
+    def test_rejects_when_full(self):
+        ctl = AdmissionController(single_shared_path, link_capacity=1.0)
+        ctl.reserve(1, 0, 1, 0.7)
+        with pytest.raises(AdmissionError):
+            ctl.reserve(2, 0, 1, 0.7)
+
+    def test_accepts_exactly_to_capacity(self):
+        ctl = AdmissionController(single_shared_path, link_capacity=1.0)
+        ctl.reserve(1, 0, 1, 0.6)
+        ctl.reserve(2, 0, 1, 0.4)  # 100% exactly: allowed at max_utilization=1
+        with pytest.raises(AdmissionError):
+            ctl.reserve(3, 0, 1, 0.0001)
+
+    def test_max_utilization_ceiling(self):
+        ctl = AdmissionController(single_shared_path, link_capacity=1.0, max_utilization=0.5)
+        ctl.reserve(1, 0, 1, 0.5)
+        with pytest.raises(AdmissionError):
+            ctl.reserve(2, 0, 1, 0.01)
+
+    def test_duplicate_flow_id_rejected(self):
+        ctl = AdmissionController(two_parallel_paths, link_capacity=1.0)
+        ctl.reserve(1, 0, 1, 0.1)
+        with pytest.raises(AdmissionError):
+            ctl.reserve(1, 0, 1, 0.1)
+
+    def test_non_positive_bandwidth_rejected(self):
+        ctl = AdmissionController(two_parallel_paths, link_capacity=1.0)
+        with pytest.raises(ValueError):
+            ctl.reserve(1, 0, 1, 0.0)
+
+    def test_no_route_raises(self):
+        ctl = AdmissionController(lambda s, d: (), link_capacity=1.0)
+        with pytest.raises(AdmissionError):
+            ctl.reserve(1, 0, 1, 0.1)
+
+
+class TestRelease:
+    def test_release_returns_bandwidth(self):
+        ctl = AdmissionController(single_shared_path, link_capacity=1.0)
+        ctl.reserve(1, 0, 1, 1.0)
+        ctl.release(1)
+        ctl.reserve(2, 0, 1, 1.0)  # fits again
+
+    def test_release_unknown_flow_raises(self):
+        ctl = AdmissionController(single_shared_path, link_capacity=1.0)
+        with pytest.raises(AdmissionError):
+            ctl.release(99)
+
+    def test_release_clears_float_dust(self):
+        ctl = AdmissionController(single_shared_path, link_capacity=1.0)
+        for i in range(10):
+            ctl.reserve(i, 0, 1, 0.1)
+        for i in range(10):
+            ctl.release(i)
+        assert ctl.reserved["shared"] == 0.0
+
+    def test_utilization_query(self):
+        ctl = AdmissionController(single_shared_path, link_capacity=2.0)
+        ctl.reserve(1, 0, 1, 1.0)
+        assert ctl.utilization("shared") == pytest.approx(0.5)
+
+
+class TestBestEffortAssignment:
+    def test_assign_path_never_rejects(self):
+        ctl = AdmissionController(single_shared_path, link_capacity=1.0)
+        for i in range(50):  # far beyond capacity: best-effort is unregulated
+            ctl.assign_path(0, 1, weight=1.0)
+
+    def test_assign_path_balances_by_weight(self):
+        ctl = AdmissionController(two_parallel_paths, link_capacity=1.0)
+        chosen = [tuple(ctl.assign_path(0, 1, weight=1.0).links) for _ in range(4)]
+        # Alternates between the two candidates.
+        assert len(set(chosen)) == 2
+        assert chosen[0] != chosen[1]
+
+    def test_assignment_does_not_consume_reserved_capacity(self):
+        ctl = AdmissionController(single_shared_path, link_capacity=1.0)
+        ctl.assign_path(0, 1, weight=100.0)
+        ctl.reserve(1, 0, 1, 1.0)  # still fully reservable
+
+    def test_no_route_raises(self):
+        ctl = AdmissionController(lambda s, d: (), link_capacity=1.0)
+        with pytest.raises(AdmissionError):
+            ctl.assign_path(0, 1)
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            AdmissionController(two_parallel_paths, link_capacity=0.0)
+
+    def test_bad_ceiling(self):
+        with pytest.raises(ValueError):
+            AdmissionController(two_parallel_paths, link_capacity=1.0, max_utilization=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(two_parallel_paths, link_capacity=1.0, max_utilization=1.5)

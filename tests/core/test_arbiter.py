@@ -1,0 +1,105 @@
+"""Tests for the output-port pickers."""
+
+from repro.core.arbiter import EDFPicker, RoundRobinPicker
+from repro.core.queues import FifoQueue
+from tests.helpers import mkpkt
+
+
+def queues_with(*deadline_lists):
+    qs = []
+    for deadlines in deadline_lists:
+        q = FifoQueue()
+        for d in deadlines:
+            q.push(mkpkt(d))
+        qs.append(q)
+    return qs
+
+
+class TestEDFPicker:
+    def test_picks_min_deadline_head(self):
+        qs = queues_with([30], [10], [20])
+        assert EDFPicker().pick(qs) == 1
+
+    def test_only_heads_are_inspected(self):
+        # Queue 0 hides a deadline-1 packet behind its head; the picker must
+        # not see it (the paper's implementability constraint).
+        qs = queues_with([100, 1], [50])
+        assert EDFPicker().pick(qs) == 1
+
+    def test_skips_empty_queues(self):
+        qs = queues_with([], [40], [])
+        assert EDFPicker().pick(qs) == 1
+
+    def test_all_empty_returns_none(self):
+        assert EDFPicker().pick(queues_with([], [])) is None
+
+    def test_tie_breaks_by_arrival_order(self):
+        q_late, q_early = FifoQueue(), FifoQueue()
+        late = mkpkt(5)
+        early_uid_wins = mkpkt(5)
+        # mkpkt uid increments globally: 'late' was created first
+        q_late.push(late)
+        q_early.push(early_uid_wins)
+        assert EDFPicker().pick([q_early, q_late]) == 1  # older packet wins
+
+    def test_sendable_predicate_filters(self):
+        qs = queues_with([10], [20])
+        picker = EDFPicker()
+        assert picker.pick(qs, sendable=lambda h: h.deadline != 10) == 1
+        assert picker.pick(qs, sendable=lambda h: False) is None
+
+    def test_granted_is_noop(self):
+        EDFPicker().granted(3)  # stateless; must not raise
+
+
+class TestRoundRobinPicker:
+    def test_rotates_after_grant(self):
+        qs = queues_with([1], [1], [1])
+        picker = RoundRobinPicker()
+        order = []
+        for _ in range(3):
+            idx = picker.pick(qs)
+            order.append(idx)
+            qs[idx].pop()
+            picker.granted(idx)
+        assert order == [0, 1, 2]
+
+    def test_pick_without_grant_does_not_advance(self):
+        qs = queues_with([1], [1])
+        picker = RoundRobinPicker()
+        assert picker.pick(qs) == 0
+        assert picker.pick(qs) == 0  # no grant, pointer unchanged
+
+    def test_skips_empty_queues(self):
+        qs = queues_with([], [7])
+        assert RoundRobinPicker().pick(qs) == 1
+
+    def test_wraps_around(self):
+        qs = queues_with([1], [1])
+        picker = RoundRobinPicker()
+        picker.granted(1)  # pointer now past the last queue
+        assert picker.pick(qs) == 0
+
+    def test_deadline_blind(self):
+        qs = queues_with([1_000_000], [1])
+        assert RoundRobinPicker().pick(qs) == 0  # ignores deadlines entirely
+
+    def test_empty_candidate_list(self):
+        assert RoundRobinPicker().pick([]) is None
+
+    def test_sendable_predicate(self):
+        qs = queues_with([10], [20])
+        picker = RoundRobinPicker()
+        assert picker.pick(qs, sendable=lambda h: h.deadline == 20) == 1
+
+    def test_long_run_fairness(self):
+        """Backlogged queues get equal grants over a full rotation cycle."""
+        qs = queues_with([1] * 30, [1] * 30, [1] * 30)
+        picker = RoundRobinPicker()
+        grants = [0, 0, 0]
+        for _ in range(30):
+            idx = picker.pick(qs)
+            qs[idx].pop()
+            picker.granted(idx)
+            grants[idx] += 1
+        assert grants == [10, 10, 10]

@@ -1,0 +1,36 @@
+"""Tests for eligible-time smoothing."""
+
+import pytest
+
+from repro.core.eligible import DEFAULT_OFFSET_NS, EligiblePolicy
+
+
+class TestEligiblePolicy:
+    def test_paper_default_offset_is_20us(self):
+        assert DEFAULT_OFFSET_NS == 20_000
+        assert EligiblePolicy().offset_ns == 20_000
+
+    def test_eligible_is_deadline_minus_offset(self):
+        policy = EligiblePolicy(5_000)
+        assert policy.eligible_time(deadline=100_000, now=0) == 95_000
+
+    def test_never_in_the_past(self):
+        policy = EligiblePolicy(5_000)
+        assert policy.eligible_time(deadline=3_000, now=1_000) == 1_000
+
+    def test_disabled_policy_releases_immediately(self):
+        policy = EligiblePolicy(None)
+        assert policy.enabled is False
+        assert policy.eligible_time(deadline=10**9, now=123) == 123
+
+    def test_zero_offset_holds_until_deadline(self):
+        policy = EligiblePolicy(0)
+        assert policy.eligible_time(deadline=500, now=0) == 500
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            EligiblePolicy(-1)
+
+    def test_enabled_flag(self):
+        assert EligiblePolicy(0).enabled is True
+        assert EligiblePolicy(None).enabled is False

@@ -1,0 +1,84 @@
+"""Tests for the time-to-destination clock trick (Section 3.3)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ttd import ClockDomain, deadline_from_ttd, ttd_from_deadline
+
+
+class TestHeaderOps:
+    def test_roundtrip_same_clock(self):
+        ttd = ttd_from_deadline(10_000, 4_000)
+        assert ttd == 6_000
+        assert deadline_from_ttd(ttd, 4_000) == 10_000
+
+    def test_ttd_can_be_negative_for_late_packets(self):
+        assert ttd_from_deadline(100, 500) == -400
+
+    def test_rebase_shifts_by_offset_difference(self):
+        clocks = ClockDomain({"a": 100, "b": -250})
+        # A deadline expressed on a's clock moves to b's clock shifted by
+        # (offset_b - offset_a).
+        assert clocks.rebase(10_000, "a", "b", true_time=777) == 10_000 - 350
+
+    def test_unknown_nodes_default_to_zero_offset(self):
+        clocks = ClockDomain()
+        assert clocks.rebase(5_000, "x", "y", true_time=123) == 5_000
+
+    def test_local_time(self):
+        clocks = ClockDomain({"n": 42})
+        assert clocks.local_time("n", 1000) == 1042
+
+
+class TestEquivalenceProperties:
+    @given(
+        deadline=st.integers(0, 10**12),
+        offset_a=st.integers(-10**9, 10**9),
+        offset_b=st.integers(-10**9, 10**9),
+        t1=st.integers(0, 10**12),
+        t2=st.integers(0, 10**12),
+    )
+    def test_rebase_is_independent_of_handoff_time(
+        self, deadline, offset_a, offset_b, t1, t2
+    ):
+        """Both clocks tick at the same rate, so *when* the TTD is computed
+        does not matter -- the paper's argument for needing no sync."""
+        clocks = ClockDomain({"a": offset_a, "b": offset_b})
+        assert clocks.rebase(deadline, "a", "b", t1) == clocks.rebase(
+            deadline, "a", "b", t2
+        )
+
+    @given(
+        deadlines=st.lists(st.integers(0, 10**9), min_size=2, max_size=20),
+        offsets=st.lists(st.integers(-10**6, 10**6), min_size=3, max_size=3),
+        true_time=st.integers(0, 10**9),
+    )
+    def test_relative_order_preserved_across_hops(self, deadlines, offsets, true_time):
+        """EDF only compares deadlines *at one node*; rebasing shifts every
+        deadline there by the same constant, so comparisons are invariant --
+        scheduling under TTD encoding equals scheduling under global time."""
+        clocks = ClockDomain({"src": offsets[0], "mid": offsets[1], "dst": offsets[2]})
+        hopped = [
+            clocks.rebase(
+                clocks.rebase(d, "src", "mid", true_time), "mid", "dst", true_time
+            )
+            for d in deadlines
+        ]
+        order_before = sorted(range(len(deadlines)), key=lambda i: deadlines[i])
+        order_after = sorted(range(len(hopped)), key=lambda i: hopped[i])
+        assert order_before == order_after
+
+    @given(
+        deadline=st.integers(0, 10**9),
+        chain=st.lists(st.integers(-10**6, 10**6), min_size=2, max_size=8),
+        true_time=st.integers(0, 10**9),
+    )
+    def test_multi_hop_rebase_telescopes(self, deadline, chain, true_time):
+        """Hop-by-hop rebasing equals one direct rebase src->dst."""
+        nodes = {f"n{i}": off for i, off in enumerate(chain)}
+        clocks = ClockDomain(nodes)
+        value = deadline
+        names = list(nodes)
+        for a, b in zip(names, names[1:]):
+            value = clocks.rebase(value, a, b, true_time)
+        assert value == clocks.rebase(deadline, names[0], names[-1], true_time)

@@ -1,0 +1,128 @@
+"""Tests for the repro-qos command-line interface.
+
+Simulation-backed commands run at micro scale so the whole module stays
+in test-suite time budgets.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--topology", "tiny", "--warmup-us", "50", "--measure-us", "120"]
+
+
+class TestParser:
+    def test_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--arch", "bogus"])
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--topology", "gigantic"])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig3"])
+        assert args.figure == "fig3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig9"])
+
+
+class TestListCommand:
+    def test_lists_architectures_and_presets(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("traditional-2vc", "ideal", "simple-2vc", "advanced-2vc"):
+            assert name in out
+        assert "128 hosts" in out
+
+
+class TestRunCommand:
+    def test_table_output(self, capsys):
+        assert main(["run", "--arch", "advanced-2vc", "--load", "0.5", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "Advanced 2 VCs" in out
+        assert "control" in out
+
+    def test_json_output(self, capsys):
+        assert main(["run", "--load", "0.5", "--json", *FAST]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["architecture"] == "advanced-2vc"
+        assert doc["classes"]["control"]["packets"] > 0
+
+
+class TestFigureCommand:
+    def test_fig2_text(self, capsys):
+        assert (
+            main(
+                ["figure", "fig2", "--loads", "0.5", "--archs", "ideal", "simple-2vc", *FAST]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "Ideal" in out
+
+    def test_fig4_csv_export(self, capsys, tmp_path):
+        out_path = tmp_path / "fig4.csv"
+        assert (
+            main(
+                [
+                    "figure", "fig4", "--loads", "0.5", "--archs", "ideal",
+                    "--out", str(out_path), *FAST,
+                ]
+            )
+            == 0
+        )
+        text = out_path.read_text()
+        assert text.startswith("architecture,load")
+
+
+class TestClaimsCommand:
+    def test_prints_penalties(self, capsys):
+        assert main(["claims", "--load", "0.8", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "relative to Ideal" in out
+        assert "Advanced 2 VCs" in out
+
+
+class TestReplicateCommand:
+    def test_prints_confidence_intervals(self, capsys):
+        assert (
+            main(["replicate", "--load", "0.5", "--seeds", "1", "2", *FAST]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 seeds" in out
+        assert "control" in out
+        assert "[" in out  # the CI brackets
+
+
+class TestCostCommand:
+    def test_prints_cost_table(self, capsys):
+        assert main(["cost", "--load", "0.5", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "comparisons/pkt" in out
+        assert "ideal" in out
+
+
+class TestUtilizationCommand:
+    def test_prints_hotspots_and_fairness(self, capsys):
+        assert main(["utilization", "--load", "0.5", "--hotspots", "3", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "Hottest links" in out
+        assert "fairness index" in out
+
+
+class TestFigure3Command:
+    def test_fig3_text(self, capsys):
+        assert (
+            main(["figure", "fig3", "--loads", "0.5", "--archs", "ideal", *FAST]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "lat/target" in out

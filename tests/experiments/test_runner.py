@@ -1,0 +1,73 @@
+"""Tests for the experiment runner (short windows, tiny topology)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, scaled_video_mix
+from repro.experiments.runner import run_experiment
+from repro.sim import units
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        architecture="advanced-2vc",
+        load=0.5,
+        seed=3,
+        topology="tiny",
+        warmup_ns=100 * units.US,
+        measure_ns=300 * units.US,
+        mix=scaled_video_mix(0.5, time_scale=0.02),
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(quick_config())
+
+
+class TestRunExperiment:
+    def test_all_classes_observed(self, result):
+        assert {"control", "multimedia", "best-effort", "background"} <= set(
+            result.collector.classes
+        )
+
+    def test_throughput_tracks_offered_at_half_load(self, result):
+        for tclass in ("control", "multimedia"):
+            assert result.normalized_throughput(tclass) == pytest.approx(1.0, abs=0.3)
+
+    def test_latency_positive_and_bounded(self, result):
+        control = result.collector.get("control")
+        assert 0 < control.packet_latency.mean < 100 * units.US
+
+    def test_summary_renders(self, result):
+        text = result.summary()
+        assert "Advanced 2 VCs" in text
+        assert "control" in text
+
+    def test_wall_time_and_events_recorded(self, result):
+        assert result.events_executed > 0
+        assert result.wall_seconds > 0
+
+    def test_offered_uses_configured_rate(self, result):
+        offered = result.offered("control")
+        # 16 hosts x 0.5 load x 0.25 share x 1 B/ns
+        assert offered == pytest.approx(16 * 0.5 * 0.25)
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        a = run_experiment(quick_config(measure_ns=150 * units.US))
+        b = run_experiment(quick_config(measure_ns=150 * units.US))
+        sa = a.collector.get("control")
+        sb = b.collector.get("control")
+        assert sa.packets == sb.packets
+        assert sa.packet_latency.mean == sb.packet_latency.mean
+
+    def test_different_seed_different_results(self):
+        a = run_experiment(quick_config(measure_ns=150 * units.US, seed=1))
+        b = run_experiment(quick_config(measure_ns=150 * units.US, seed=2))
+        assert (
+            a.collector.get("control").packet_latency.mean
+            != b.collector.get("control").packet_latency.mean
+        )

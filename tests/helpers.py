@@ -1,0 +1,32 @@
+"""Small helpers shared across test modules."""
+
+from __future__ import annotations
+
+from repro.network.packet import Packet
+
+
+def mkpkt(
+    deadline: int,
+    *,
+    size: int = 256,
+    flow_id: int = 1,
+    seq: int = 0,
+    src: int = 0,
+    dst: int = 1,
+    vc: int = 0,
+    tclass: str = "test",
+    **kwargs,
+) -> Packet:
+    """A packet with the given deadline; uid auto-increments globally, so
+    creation order == arrival order for tie-breaking purposes."""
+    return Packet(
+        flow_id=flow_id,
+        seq=seq,
+        src=src,
+        dst=dst,
+        size=size,
+        vc=vc,
+        tclass=tclass,
+        deadline=deadline,
+        **kwargs,
+    )

@@ -1,0 +1,69 @@
+"""Generality beyond the paper's 2-stage MIN: a 3-level fat-tree.
+
+The paper's mechanisms never reference the topology (deadlines are
+absolute, routing is source-based), so the qualitative results must
+carry over to deeper networks.  This runs the Table 1 mix over a 3-level
+2-ary tree (8 hosts, up to 5 switch hops) and re-checks the headline
+claims end to end.
+"""
+
+import pytest
+
+from repro.core.architectures import ARCHITECTURES
+from repro.experiments.config import scaled_video_mix
+from repro.network.fabric import Fabric
+from repro.network.topology import FatTreeSpec, build_fat_tree
+from repro.sim import units
+from repro.sim.rng import RandomStreams
+from repro.stats.collectors import MetricsCollector
+from repro.traffic.mix import build_mix
+
+WARMUP = 1_100 * units.US
+END = 2_400 * units.US
+
+
+@pytest.fixture(scope="module")
+def fattree_runs():
+    results = {}
+    for arch in ("advanced-2vc", "traditional-2vc"):
+        topo = build_fat_tree(FatTreeSpec(arity=2, levels=3))
+        fabric = Fabric(topo, ARCHITECTURES[arch])
+        collector = MetricsCollector(warmup_ns=WARMUP)
+        fabric.subscribe_delivery(collector.on_delivery)
+        mix = build_mix(fabric, RandomStreams(3), scaled_video_mix(0.9, 0.02))
+        mix.start()
+        fabric.run(until=END)
+        collector.finalize(fabric.engine.now)
+        results[arch] = (fabric, collector)
+    return results
+
+
+class TestFatTreeGenerality:
+    def test_all_classes_flow(self, fattree_runs):
+        _, collector = fattree_runs["advanced-2vc"]
+        assert {"control", "multimedia", "best-effort", "background"} <= set(
+            collector.classes
+        )
+
+    def test_edf_beats_traditional_on_control(self, fattree_runs):
+        advanced = fattree_runs["advanced-2vc"][1].get("control").message_latency.mean
+        traditional = (
+            fattree_runs["traditional-2vc"][1].get("control").message_latency.mean
+        )
+        assert advanced < traditional
+
+    def test_video_pinned_at_target(self, fattree_runs):
+        target = round(10 * units.MS * 0.02)
+        stats = fattree_runs["advanced-2vc"][1].get("multimedia")
+        assert stats.message_latency.mean == pytest.approx(target, rel=0.25)
+
+    def test_no_reordering_across_five_hops(self, fattree_runs):
+        fabric, _ = fattree_runs["advanced-2vc"]
+        # Conservation at minimum; sequence order was asserted by the
+        # delivery hook in the invariants suite for MINs -- here check the
+        # fabric drained sanely and nothing was lost in the deeper tree.
+        submitted = sum(h.packets_submitted for h in fabric.hosts)
+        received = sum(h.packets_received for h in fabric.hosts)
+        queued = fabric.queued_in_hosts() + fabric.queued_in_switches()
+        assert received > 0
+        assert 0 <= submitted - received - queued <= len(fabric.links)

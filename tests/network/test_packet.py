@@ -1,0 +1,48 @@
+"""Tests for the packet header model."""
+
+import pytest
+
+from repro.network.packet import Packet, VC_BEST_EFFORT, VC_REGULATED
+from tests.helpers import mkpkt
+
+
+class TestConstruction:
+    def test_uids_are_globally_unique_and_increasing(self):
+        a, b, c = mkpkt(1), mkpkt(1), mkpkt(1)
+        assert a.uid < b.uid < c.uid
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            mkpkt(1, size=0)
+
+    def test_invalid_vc(self):
+        with pytest.raises(ValueError):
+            mkpkt(1, vc=-1)
+        mkpkt(1, vc=3)  # multi-VC fabrics allow higher indices
+
+    def test_vc_constants(self):
+        assert VC_REGULATED == 0
+        assert VC_BEST_EFFORT == 1
+
+    def test_defaults(self):
+        pkt = mkpkt(42)
+        assert pkt.hop == 0
+        assert pkt.inject is None
+        assert pkt.deliver is None
+        assert pkt.msg_parts == 1
+
+
+class TestSourceRouting:
+    def test_next_output_port_follows_path(self):
+        pkt = mkpkt(1, path=(4, 2, 7))
+        assert pkt.next_output_port() == 4
+        pkt.hop = 1
+        assert pkt.next_output_port() == 2
+        pkt.hop = 2
+        assert pkt.next_output_port() == 7
+
+    def test_exhausted_path_raises(self):
+        pkt = mkpkt(1, path=(4,))
+        pkt.hop = 1
+        with pytest.raises(IndexError):
+            pkt.next_output_port()

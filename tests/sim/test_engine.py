@@ -1,0 +1,162 @@
+"""Unit tests for the event kernel."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, engine):
+        order = []
+        engine.at(30, order.append, "c")
+        engine.at(10, order.append, "a")
+        engine.at(20, order.append, "b")
+        engine.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_scheduling_order(self, engine):
+        order = []
+        for tag in ("first", "second", "third"):
+            engine.at(5, order.append, tag)
+        engine.run_all()
+        assert order == ["first", "second", "third"]
+
+    def test_after_is_relative_to_now(self, engine):
+        seen = []
+        engine.at(100, lambda: engine.after(50, lambda: seen.append(engine.now)))
+        engine.run_all()
+        assert seen == [150]
+
+    def test_now_is_event_time_during_callback(self, engine):
+        times = []
+        engine.at(42, lambda: times.append(engine.now))
+        engine.run_all()
+        assert times == [42]
+
+    def test_scheduling_in_the_past_raises(self, engine):
+        engine.at(100, lambda: None)
+        engine.run_all()
+        with pytest.raises(SimulationError):
+            engine.at(50, lambda: None)
+
+    def test_negative_delay_raises(self, engine):
+        with pytest.raises(SimulationError):
+            engine.after(-1, lambda: None)
+
+    def test_zero_delay_fires_at_current_time(self, engine):
+        seen = []
+        engine.at(10, lambda: engine.after(0, seen.append, engine.now))
+        engine.run_all()
+        assert seen == [10]
+
+    def test_callbacks_can_schedule_more_work(self, engine):
+        count = [0]
+
+        def chain():
+            count[0] += 1
+            if count[0] < 5:
+                engine.after(10, chain)
+
+        engine.at(0, chain)
+        engine.run_all()
+        assert count[0] == 5
+        assert engine.now == 40
+
+
+class TestRunWindow:
+    def test_run_until_is_inclusive(self, engine):
+        seen = []
+        engine.at(100, seen.append, "boundary")
+        engine.run(until=100)
+        assert seen == ["boundary"]
+
+    def test_run_until_stops_before_later_events(self, engine):
+        seen = []
+        engine.at(101, seen.append, "late")
+        engine.run(until=100)
+        assert seen == []
+        assert engine.now == 100  # clock advances to the window edge
+
+    def test_back_to_back_windows_are_contiguous(self, engine):
+        seen = []
+        engine.at(150, seen.append, "x")
+        engine.run(until=100)
+        engine.run(until=200)
+        assert seen == ["x"]
+
+    def test_run_into_the_past_raises(self, engine):
+        engine.run(until=100)
+        with pytest.raises(SimulationError):
+            engine.run(until=50)
+
+    def test_max_events_bounds_execution(self, engine):
+        seen = []
+        for i in range(10):
+            engine.at(i, seen.append, i)
+        executed = engine.run(max_events=3)
+        assert executed == 3
+        assert seen == [0, 1, 2]
+
+    def test_stop_from_callback(self, engine):
+        seen = []
+        engine.at(1, seen.append, 1)
+        engine.at(2, lambda: (seen.append(2), engine.stop()))
+        engine.at(3, seen.append, 3)
+        engine.run_all()
+        assert seen == [1, 2]
+
+    def test_run_returns_executed_count(self, engine):
+        for i in range(4):
+            engine.at(i, lambda: None)
+        assert engine.run_all() == 4
+        assert engine.events_executed == 4
+
+    def test_reentrant_run_raises(self, engine):
+        def nested():
+            engine.run(until=10)
+
+        engine.at(1, nested)
+        with pytest.raises(SimulationError):
+            engine.run_all()
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, engine):
+        seen = []
+        handle = engine.at(10, seen.append, "no")
+        handle.cancel()
+        engine.run_all()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self, engine):
+        handle = engine.at(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        engine.run_all()
+
+    def test_cancel_one_of_many(self, engine):
+        seen = []
+        keep = engine.at(10, seen.append, "keep")
+        drop = engine.at(10, seen.append, "drop")
+        drop.cancel()
+        engine.run_all()
+        assert seen == ["keep"]
+
+    def test_peek_time_skips_cancelled(self, engine):
+        first = engine.at(5, lambda: None)
+        engine.at(10, lambda: None)
+        first.cancel()
+        assert engine.peek_time() == 10
+
+    def test_peek_time_empty_heap(self, engine):
+        assert engine.peek_time() is None
+
+
+class TestConstruction:
+    def test_start_time(self):
+        engine = Engine(start_time=500)
+        assert engine.now == 500
+
+    def test_negative_start_time_raises(self):
+        with pytest.raises(SimulationError):
+            Engine(start_time=-1)

@@ -1,0 +1,57 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro.sim import units
+
+
+class TestGbps:
+    def test_paper_link_rate_is_one_byte_per_ns(self):
+        assert units.gbps(8.0) == 1.0
+
+    def test_other_rates(self):
+        assert units.gbps(16.0) == 2.0
+        assert units.gbps(4.0) == 0.5
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            units.gbps(0)
+        with pytest.raises(ValueError):
+            units.gbps(-1)
+
+
+class TestSerialization:
+    def test_exact_at_paper_rate(self):
+        assert units.serialization_ns(2048, 1.0) == 2048
+
+    def test_rounds_up(self):
+        # 100 bytes at 0.3 B/ns = 333.33 ns -> 334
+        assert units.serialization_ns(100, 0.3) == 334
+
+    def test_zero_bytes(self):
+        assert units.serialization_ns(0, 1.0) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            units.serialization_ns(-1, 1.0)
+
+    def test_non_positive_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            units.serialization_ns(100, 0.0)
+
+
+class TestConversions:
+    def test_roundtrip_gbps(self):
+        assert units.bytes_per_ns_to_gbps(units.gbps(8.0)) == 8.0
+
+    def test_time_constants(self):
+        assert units.MS == 1000 * units.US
+        assert units.S == 1000 * units.MS
+
+    def test_human_units(self):
+        assert units.ns_to_us(2500) == 2.5
+        assert units.ns_to_ms(3_000_000) == 3.0
+
+    def test_size_constants(self):
+        assert units.KB == 1024
+        assert units.MB == 1024 * 1024

@@ -1,0 +1,39 @@
+"""Tests for table formatting."""
+
+from repro.stats.report import format_table
+
+
+class TestFormatTable:
+    def test_headers_and_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["name", "value"]
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].startswith("a")
+        assert lines[3].startswith("bb")
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_numbers_right_aligned(self):
+        text = format_table(["n"], [[1], [100]])
+        lines = text.splitlines()
+        assert lines[-1].endswith("100")
+        assert lines[-2].endswith("  1")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [12345.6], [0.0000123]])
+        assert "0.123" in text
+        assert "1.23e" in text.replace("+0", "").replace("+", "")
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2  # header + rule only
+
+    def test_wide_cells_stretch_columns(self):
+        text = format_table(["x"], [["averyverylongcellvalue"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("averyverylongcellvalue")

@@ -1,0 +1,105 @@
+"""Tests for reservoir sampling and the empirical CDF."""
+
+import random
+
+import pytest
+
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.reservoir import Reservoir
+
+
+class TestReservoir:
+    def test_exact_below_capacity(self):
+        res = Reservoir(capacity=100)
+        for i in range(50):
+            res.add(float(i))
+        assert res.is_exact
+        assert sorted(res.items) == [float(i) for i in range(50)]
+
+    def test_capacity_bounded(self):
+        res = Reservoir(capacity=10)
+        for i in range(1000):
+            res.add(float(i))
+        assert len(res) == 10
+        assert res.seen == 1000
+        assert not res.is_exact
+
+    def test_uniformity(self):
+        """Each stream element should survive with probability ~k/n."""
+        hits = [0] * 100
+        for trial in range(400):
+            res = Reservoir(capacity=20, seed=trial)
+            for i in range(100):
+                res.add(float(i))
+            for kept in res.items:
+                hits[int(kept)] += 1
+        expected = 400 * 20 / 100  # 80 per element
+        assert all(expected * 0.5 < h < expected * 1.5 for h in hits), hits
+
+    def test_sampling_does_not_touch_global_random(self):
+        random.seed(42)
+        before = random.random()
+        random.seed(42)
+        res = Reservoir(capacity=2)
+        for i in range(100):
+            res.add(float(i))
+        after = random.random()
+        assert before == after
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Reservoir(capacity=0)
+
+
+class TestEmpiricalCDF:
+    def test_prob_leq(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf.prob_leq(0.5) == 0.0
+        assert cdf.prob_leq(1.0) == 0.25
+        assert cdf.prob_leq(2.5) == 0.5
+        assert cdf.prob_leq(4.0) == 1.0
+
+    def test_quantiles_nearest_rank(self):
+        cdf = EmpiricalCDF(range(1, 101))  # 1..100
+        assert cdf.quantile(0.0) == 1
+        assert cdf.quantile(0.5) == 50
+        assert cdf.quantile(0.99) == 99
+        assert cdf.quantile(1.0) == 100
+
+    def test_min_max(self):
+        cdf = EmpiricalCDF([5.0, 1.0, 9.0])
+        assert cdf.min == 1.0
+        assert cdf.max == 9.0
+
+    def test_unsorted_input_accepted(self):
+        cdf = EmpiricalCDF([3.0, 1.0, 2.0])
+        assert cdf.values == [1.0, 2.0, 3.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+    def test_bad_quantile(self):
+        cdf = EmpiricalCDF([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_curve_monotone_and_spans(self):
+        cdf = EmpiricalCDF(range(1000))
+        curve = cdf.curve(points=50)
+        assert len(curve) == 50
+        xs = [x for x, _ in curve]
+        ps = [p for _, p in curve]
+        assert xs == sorted(xs)
+        assert ps == sorted(ps)
+        assert curve[0][0] == 0
+        assert curve[-1] == (999, 1.0)
+
+    def test_curve_needs_two_points(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1.0]).curve(points=1)
+
+    def test_single_sample(self):
+        cdf = EmpiricalCDF([7.0])
+        assert cdf.quantile(0.5) == 7.0
+        assert cdf.prob_leq(7.0) == 1.0

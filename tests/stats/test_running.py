@@ -1,0 +1,87 @@
+"""Tests for the Welford accumulator."""
+
+import math
+import random
+import statistics
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.running import RunningStats
+
+
+class TestBasics:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.variance == 0.0
+        assert stats.min == math.inf
+
+    def test_single_value(self):
+        stats = RunningStats()
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+        assert stats.min == stats.max == 5.0
+
+    def test_known_sequence(self):
+        stats = RunningStats()
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for v in values:
+            stats.add(v)
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.std == pytest.approx(2.0)  # population std
+        assert stats.min == 2.0
+        assert stats.max == 9.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+    def test_matches_statistics_module(self, values):
+        stats = RunningStats()
+        for v in values:
+            stats.add(v)
+        assert stats.mean == pytest.approx(statistics.fmean(values), abs=1e-6, rel=1e-9)
+        assert stats.variance == pytest.approx(
+            statistics.pvariance(values), abs=1e-3, rel=1e-6
+        )
+
+    def test_numerical_stability_large_offset(self):
+        """Welford stays accurate with a huge common offset (naive
+        sum-of-squares would catastrophically cancel)."""
+        stats = RunningStats()
+        offset = 1e12
+        for v in (offset + 1, offset + 2, offset + 3):
+            stats.add(v)
+        assert stats.variance == pytest.approx(2.0 / 3.0, rel=1e-6)
+
+
+class TestMerge:
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+    )
+    def test_merge_equals_concatenation(self, xs, ys):
+        left, right, both = RunningStats(), RunningStats(), RunningStats()
+        for x in xs:
+            left.add(x)
+            both.add(x)
+        for y in ys:
+            right.add(y)
+            both.add(y)
+        merged = left.merge(right)
+        assert merged.count == both.count
+        assert merged.mean == pytest.approx(both.mean, abs=1e-6, rel=1e-9)
+        assert merged.variance == pytest.approx(both.variance, abs=1e-3, rel=1e-6)
+        assert merged.min == both.min
+        assert merged.max == both.max
+
+    def test_merge_with_empty(self):
+        stats = RunningStats()
+        stats.add(1.0)
+        merged = stats.merge(RunningStats())
+        assert merged.count == 1
+        assert merged.mean == 1.0
+
+    def test_merge_two_empties(self):
+        merged = RunningStats().merge(RunningStats())
+        assert merged.count == 0

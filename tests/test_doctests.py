@@ -1,0 +1,31 @@
+"""Run the doctest examples embedded in module docstrings.
+
+Several modules carry small usage examples in their docstrings
+(``units``, ``eligible``, ``report``, ``rng``); keeping them executable
+keeps the documentation honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.eligible
+import repro.sim.rng
+import repro.sim.units
+import repro.stats.report
+import repro.sim.monitor
+
+MODULES = [
+    repro.sim.units,
+    repro.core.eligible,
+    repro.stats.report,
+    repro.sim.rng,
+    repro.sim.monitor,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"

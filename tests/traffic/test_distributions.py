@@ -1,0 +1,139 @@
+"""Tests for the workload samplers."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.distributions import BoundedPareto, GopFrameSizes, pareto_interarrival
+
+
+class TestBoundedPareto:
+    def test_samples_within_bounds(self):
+        dist = BoundedPareto(1.3, 128, 102_400)
+        rng = random.Random(1)
+        for _ in range(2000):
+            x = dist.sample(rng)
+            assert 128 <= x <= 102_400
+
+    def test_sample_int_within_bounds(self):
+        dist = BoundedPareto(1.3, 128, 102_400)
+        rng = random.Random(2)
+        for _ in range(500):
+            x = dist.sample_int(rng)
+            assert isinstance(x, int)
+            assert 128 <= x <= 102_400
+
+    def test_empirical_mean_matches_analytic(self):
+        dist = BoundedPareto(1.5, 100, 10_000)
+        rng = random.Random(3)
+        n = 200_000
+        empirical = sum(dist.sample(rng) for _ in range(n)) / n
+        assert empirical == pytest.approx(dist.mean, rel=0.03)
+
+    def test_alpha_one_special_case(self):
+        dist = BoundedPareto(1.0, 100, 10_000)
+        rng = random.Random(4)
+        n = 100_000
+        empirical = sum(dist.sample(rng) for _ in range(n)) / n
+        assert empirical == pytest.approx(dist.mean, rel=0.05)
+
+    def test_heavier_tail_larger_mean(self):
+        light = BoundedPareto(2.5, 100, 100_000).mean
+        heavy = BoundedPareto(1.1, 100, 100_000).mean
+        assert heavy > light
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(0, 1, 10)
+        with pytest.raises(ValueError):
+            BoundedPareto(1.5, 10, 10)
+        with pytest.raises(ValueError):
+            BoundedPareto(1.5, -5, 10)
+
+    @settings(max_examples=50)
+    @given(
+        alpha=st.floats(0.5, 3.0),
+        low=st.floats(1, 1000),
+        ratio=st.floats(1.5, 1000),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_bounds_property(self, alpha, low, ratio, seed):
+        dist = BoundedPareto(alpha, low, low * ratio)
+        rng = random.Random(seed)
+        x = dist.sample(rng)
+        assert low <= x <= low * ratio
+        assert dist.low <= dist.mean <= dist.high
+
+
+class TestParetoInterarrival:
+    def test_mean_calibration(self):
+        rng = random.Random(5)
+        n = 500_000
+        mean = sum(pareto_interarrival(rng, 100.0, alpha=2.5) for _ in range(n)) / n
+        assert mean == pytest.approx(100.0, rel=0.05)
+
+    def test_minimum_is_scale(self):
+        rng = random.Random(6)
+        samples = [pareto_interarrival(rng, 100.0, alpha=2.0) for _ in range(1000)]
+        assert min(samples) >= 100.0 * (2.0 - 1.0) / 2.0
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            pareto_interarrival(rng, 0.0)
+        with pytest.raises(ValueError):
+            pareto_interarrival(rng, 10.0, alpha=1.0)
+
+
+class TestGopFrameSizes:
+    def test_clipping(self):
+        gen = GopFrameSizes(60_000, low=1024, high=122_880)
+        rng = random.Random(7)
+        for _ in range(200):
+            size = gen.next_frame(rng)
+            assert 1024 <= size <= 122_880
+
+    def test_i_frames_bigger_than_b_frames_on_average(self):
+        gen = GopFrameSizes(30_000, pattern="IB", sigma=0.1)
+        rng = random.Random(8)
+        i_sizes, b_sizes = [], []
+        for _ in range(500):
+            i_sizes.append(gen.next_frame(rng))
+            b_sizes.append(gen.next_frame(rng))
+        assert sum(i_sizes) / len(i_sizes) > 2 * sum(b_sizes) / len(b_sizes)
+
+    def test_long_run_mean_near_target(self):
+        # 30 KB mean keeps I frames under the cap, so clipping bias ~ 0.
+        gen = GopFrameSizes(30_000, sigma=0.2)
+        rng = random.Random(9)
+        n = 60_000
+        mean = sum(gen.next_frame(rng) for _ in range(n)) / n
+        assert mean == pytest.approx(30_000, rel=0.05)
+
+    def test_pattern_cycles(self):
+        gen = GopFrameSizes(10_000, pattern="IPB")
+        assert gen.frame_type == "I"
+        rng = random.Random(10)
+        gen.next_frame(rng)
+        assert gen.frame_type == "P"
+        gen.next_frame(rng)
+        assert gen.frame_type == "B"
+        gen.next_frame(rng)
+        assert gen.frame_type == "I"
+
+    def test_start_index(self):
+        gen = GopFrameSizes(10_000, pattern="IPB", start_index=2)
+        assert gen.frame_type == "B"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GopFrameSizes(0)
+        with pytest.raises(ValueError):
+            GopFrameSizes(1000, pattern="IXB")
+        with pytest.raises(ValueError):
+            GopFrameSizes(1000, pattern="")
+        with pytest.raises(ValueError):
+            GopFrameSizes(1000, low=100, high=100)
