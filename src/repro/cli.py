@@ -125,6 +125,30 @@ def build_parser() -> argparse.ArgumentParser:
     common(util_p)
 
     sub.add_parser("list", help="list architectures and topology presets")
+
+    lint_p = sub.add_parser(
+        "lint", help="run simlint (simulator-specific static analysis)"
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint_p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
+    lint_p.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all), e.g. SIM001,SIM004",
+    )
+    lint_p.add_argument(
+        "--list-rules", action="store_true", help="list the registered rules and exit"
+    )
     return parser
 
 
@@ -280,6 +304,40 @@ def _cmd_list() -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.lint import RULES, lint_paths
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            rule = RULES[rule_id]
+            print(f"{rule.id}  allow-{rule.name:<20} {rule.description}")
+        return 0
+    select = args.select.split(",") if args.select else None
+    try:
+        violations = lint_paths(args.paths, select=select)
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"repro-qos lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "violations": [v.to_dict() for v in violations],
+                    "count": len(violations),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation.format())
+        if violations:
+            print(f"\n{len(violations)} violation(s) found")
+    return 1 if violations else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -296,6 +354,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_utilization(args)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
+from repro.core.invariants import invariant
 from repro.core.deadline import (
     ControlStamper,
     DeadlineStamper,
@@ -78,9 +79,16 @@ class FlowSpec:
 
     def make_stamper(self) -> DeadlineStamper:
         if self.kind == FlowKind.FRAME:
-            assert self.target_latency_ns is not None
+            invariant(
+                self.target_latency_ns is not None,
+                "frame flow %s has no target latency", self.flow_id,
+            )
             return FrameBasedStamper(self.target_latency_ns)
-        assert self.bw_bytes_per_ns is not None
+        invariant(
+            self.bw_bytes_per_ns is not None,
+            "%s flow %s has no bandwidth for deadline computation",
+            self.kind, self.flow_id,
+        )
         if self.kind == FlowKind.CONTROL:
             return ControlStamper(self.bw_bytes_per_ns)
         return RateBasedStamper(self.bw_bytes_per_ns)

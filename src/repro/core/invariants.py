@@ -1,0 +1,49 @@
+"""Runtime invariants that survive ``python -O``.
+
+The appendix's proof obligations (Lemma 1, Theorems 1-3, Eq. 1-2) are
+checked at runtime in the queue and network code.  A bare ``assert`` is
+the wrong tool for that job: ``python -O`` strips assert statements from
+the bytecode, so exactly the deployments that run optimized -- the
+large, long simulations where an invariant break would be most costly to
+miss -- would silently stop checking.  :func:`invariant` is an ordinary
+function call and is never stripped.
+
+Violations raise :class:`InvariantViolation`, a subclass of
+``AssertionError`` so existing handlers and test expectations keep
+working while the typed class lets callers distinguish "a proof
+obligation from the paper broke" from any other assertion.
+
+The ``simlint`` static-analysis pass (rule SIM004, see
+:mod:`repro.lint`) enforces that library code under ``src/`` uses this
+helper instead of bare ``assert``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["InvariantViolation", "invariant"]
+
+
+class InvariantViolation(AssertionError):
+    """A runtime invariant (e.g. an appendix proof obligation) failed.
+
+    Subclasses ``AssertionError`` deliberately: an invariant breaking
+    means the *simulator* is wrong, the same severity a failed assert
+    would signal -- but unlike an assert it cannot be compiled away.
+    """
+
+
+def invariant(condition: object, message: str, *args: object) -> None:
+    """Raise :class:`InvariantViolation` unless ``condition`` is truthy.
+
+    ``message`` may contain %-style placeholders filled from ``args``;
+    formatting is deferred to the failure path so hot-path call sites
+    pay only a truth test and a function call.
+
+    >>> invariant(1 + 1 == 2, "arithmetic holds")
+    >>> invariant(False, "flow %d broke", 7)
+    Traceback (most recent call last):
+        ...
+    repro.core.invariants.InvariantViolation: flow 7 broke
+    """
+    if not condition:
+        raise InvariantViolation(message % args if args else message)

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Protocol, runtime_checkable
 
+from repro.core.invariants import invariant
+
 __all__ = ["PacketQueue", "QueueFullError", "DeadlineTagged"]
 
 
@@ -91,4 +93,4 @@ class PacketQueue:
 
     def _discharge(self, pkt: DeadlineTagged) -> None:
         self.used_bytes -= pkt.size
-        assert self.used_bytes >= 0, "queue byte accounting went negative"
+        invariant(self.used_bytes >= 0, "queue byte accounting went negative")

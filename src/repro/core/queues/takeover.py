@@ -29,6 +29,7 @@ from collections import deque
 from itertools import chain
 from typing import Iterator, Optional
 
+from repro.core.invariants import invariant
 from repro.core.queues.base import DeadlineTagged, PacketQueue
 
 __all__ = ["TakeOverQueue"]
@@ -59,14 +60,14 @@ class TakeOverQueue(PacketQueue):
         else:
             # Lemma 1 guarantees L is never empty while U holds packets, so
             # reaching here with an empty L would mean the invariant broke.
-            assert lower, "take-over queue occupied while ordered queue empty"
+            invariant(lower, "take-over queue occupied while ordered queue empty")
             self._upper.append(pkt)
 
     # -- dequeuing (appendix Definition 2) ----------------------------------
     def head(self) -> Optional[DeadlineTagged]:
         lower, upper = self._lower, self._upper
         if not lower:
-            assert not upper, "Lemma 1 violated: packets only in take-over queue"
+            invariant(not upper, "Lemma 1 violated: packets only in take-over queue")
             return None
         if not upper:
             return lower[0]

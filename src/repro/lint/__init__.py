@@ -1,0 +1,48 @@
+"""simlint: simulator-specific static analysis for this codebase.
+
+Generic linters cannot know that drawing from the *global* stdlib RNG
+breaks run reproducibility, that a wall-clock read inside the simulation
+core couples results to the host machine, or that a bare ``assert``
+guarding a Lemma 1 invariant vanishes under ``python -O``.  simlint
+encodes those project rules as AST checks and gates the tree on them
+(``tests/lint/test_src_is_clean.py`` keeps ``src/`` clean forever).
+
+Rules (see :mod:`repro.lint.rules` for the registry and how to add one):
+
+========  ==================  ==================================================
+ID        pragma name         what it forbids
+========  ==================  ==================================================
+SIM001    global-random       importing stdlib ``random`` (use ``repro.sim.rng``)
+SIM002    wallclock           wall-clock reads (``time.time`` & friends)
+SIM003    float-deadline-eq   float ``==``/``!=`` on deadlines/timestamps
+SIM004    bare-assert         bare ``assert`` (use ``repro.core.invariants``)
+SIM005    mutable-default     mutable default arguments
+SIM006    missing-slots       hot-path queue/packet classes without ``__slots__``
+========  ==================  ==================================================
+
+A violation is suppressed by putting ``# simlint: allow-<pragma-name>``
+on the offending line; pragmas naming unknown rules are themselves
+reported (SIM000) so a typo cannot silently disable a check.
+
+Run it as ``repro-qos lint [paths...]`` or programmatically::
+
+    from repro.lint import lint_paths
+    violations = lint_paths(["src/repro"])
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import RULES, Rule, register_rule
+from repro.lint.runner import iter_python_files, lint_file, lint_paths, lint_source
+from repro.lint.violations import Violation
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "Violation",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]

@@ -1,0 +1,76 @@
+"""``# simlint: allow-<rule>`` pragma parsing.
+
+A pragma comment suppresses named rules *on its own line*::
+
+    import random  # simlint: allow-global-random
+    t0 = time.perf_counter()  # simlint: allow-wallclock
+
+Several rules may be allowed at once, separated by commas or spaces::
+
+    # simlint: allow-wallclock, allow-global-random
+
+Parsing uses :mod:`tokenize` rather than a regex over raw lines so a
+``# simlint:`` sequence inside a string literal is never mistaken for a
+pragma.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, List, NamedTuple, Set
+
+__all__ = ["Pragma", "parse_pragmas"]
+
+_PRAGMA_RE = re.compile(r"#\s*simlint\s*:\s*(?P<body>.*)$")
+_ALLOW_RE = re.compile(r"^allow-(?P<name>[a-z0-9][a-z0-9-]*)$")
+
+
+class Pragma(NamedTuple):
+    """One ``allow-`` directive: the rule name it names and where."""
+
+    line: int
+    name: str
+    valid: bool  # False for a directive that is not ``allow-<name>``
+
+
+def parse_pragmas(source: str) -> List[Pragma]:
+    """All simlint pragma directives in ``source``, in file order.
+
+    Tokenization errors (possible on files that do not parse anyway)
+    yield an empty list -- the caller reports the parse failure itself.
+    """
+    pragmas: List[Pragma] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return pragmas
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(tok.string)
+        if match is None:
+            continue
+        line = tok.start[0]
+        body = match.group("body").strip()
+        directives = [d for d in re.split(r"[,\s]+", body) if d]
+        if not directives:
+            pragmas.append(Pragma(line, "", False))
+            continue
+        for directive in directives:
+            allow = _ALLOW_RE.match(directive)
+            if allow is None:
+                pragmas.append(Pragma(line, directive, False))
+            else:
+                pragmas.append(Pragma(line, allow.group("name"), True))
+    return pragmas
+
+
+def allowed_by_line(pragmas: List[Pragma]) -> Dict[int, Set[str]]:
+    """Map line number -> set of rule names allowed on that line."""
+    allowed: Dict[int, Set[str]] = {}
+    for pragma in pragmas:
+        if pragma.valid:
+            allowed.setdefault(pragma.line, set()).add(pragma.name)
+    return allowed

@@ -1,0 +1,137 @@
+"""Walk files, run the rules, apply pragmas, collect violations."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.lint.pragmas import allowed_by_line, parse_pragmas
+from repro.lint.rules import RULES, Rule
+from repro.lint.violations import Violation
+
+__all__ = ["iter_python_files", "lint_file", "lint_paths", "lint_source"]
+
+PathLike = Union[str, Path]
+
+#: Pseudo-rule id for problems with the lint run itself (unparseable
+#: file, pragma naming an unknown rule).  Not suppressible.
+META_RULE_ID = "SIM000"
+
+#: Directory names never descended into.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+def _select_rules(select: Optional[Iterable[str]]) -> List[Rule]:
+    if select is None:
+        return [RULES[rule_id] for rule_id in sorted(RULES)]
+    rules = []
+    for rule_id in select:
+        rule = RULES.get(rule_id)
+        if rule is None:
+            known = ", ".join(sorted(RULES))
+            raise KeyError(f"unknown rule {rule_id!r} (known: {known})")
+        rules.append(rule)
+    return rules
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    select: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Lint one module given as text.  ``path`` is used for reporting and
+    for path-scoped rules (e.g. SIM006)."""
+    posix_path = str(path).replace("\\", "/")
+    try:
+        tree = ast.parse(source, filename=posix_path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=posix_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule_id=META_RULE_ID,
+                rule_name="parse-error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+
+    pragmas = parse_pragmas(source)
+    allowed = allowed_by_line(pragmas)
+    rule_names = {rule.name for rule in RULES.values()}
+
+    violations: List[Violation] = []
+    # A pragma naming an unknown rule would silently fail to suppress
+    # anything -- surface the typo instead of honouring it.
+    for pragma in pragmas:
+        if not pragma.valid or pragma.name not in rule_names:
+            detail = pragma.name or "<empty>"
+            violations.append(
+                Violation(
+                    path=posix_path,
+                    line=pragma.line,
+                    col=0,
+                    rule_id=META_RULE_ID,
+                    rule_name="unknown-pragma",
+                    message=(
+                        f"pragma directive {detail!r} does not name a known "
+                        f"rule (expected allow-<rule>, rules: "
+                        f"{', '.join(sorted(rule_names))})"
+                    ),
+                )
+            )
+
+    for rule in _select_rules(select):
+        if not rule.applies_to(posix_path):
+            continue
+        for node, message in rule.check(tree, posix_path):
+            line = getattr(node, "lineno", 1)
+            if rule.name in allowed.get(line, ()):
+                continue
+            violations.append(
+                Violation(
+                    path=posix_path,
+                    line=line,
+                    col=getattr(node, "col_offset", 0),
+                    rule_id=rule.id,
+                    rule_name=rule.name,
+                    message=message,
+                )
+            )
+    return sorted(violations)
+
+
+def lint_file(path: PathLike, *, select: Optional[Iterable[str]] = None) -> List[Violation]:
+    """Lint one file on disk."""
+    file_path = Path(path)
+    source = file_path.read_text(encoding="utf-8")
+    return lint_source(source, str(file_path), select=select)
+
+
+def iter_python_files(paths: Sequence[PathLike]) -> Iterator[Path]:
+    """Expand files/directories into the .py files to lint, sorted so
+    output order is stable across filesystems."""
+    for entry in paths:
+        entry_path = Path(entry)
+        if entry_path.is_dir():
+            for candidate in sorted(entry_path.rglob("*.py")):
+                if not SKIP_DIRS.intersection(candidate.parts):
+                    yield candidate
+        elif entry_path.suffix == ".py" or entry_path.is_file():
+            yield entry_path
+        else:
+            raise FileNotFoundError(f"no such file or directory: {entry_path}")
+
+
+def lint_paths(
+    paths: Sequence[PathLike],
+    *,
+    select: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Lint every python file under ``paths`` (files or directories)."""
+    violations: List[Violation] = []
+    for file_path in iter_python_files(paths):
+        violations.extend(lint_file(file_path, select=select))
+    return sorted(violations)

@@ -1,0 +1,40 @@
+"""The unit of lint output: one rule firing at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+__all__ = ["Violation"]
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule violation.  Field order gives the natural sort:
+    by file, then line, then column, then rule."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str  # e.g. "SIM001"
+    rule_name: str  # e.g. "global-random" (also the pragma name)
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: SIM001 [global-random] message`` -- the text
+        output format, clickable in editors and CI logs."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.rule_name}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-ready form for ``repro-qos lint --format json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "name": self.rule_name,
+            "message": self.message,
+        }

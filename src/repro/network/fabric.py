@@ -26,6 +26,7 @@ from repro.core.admission import AdmissionController
 from repro.core.architectures import ADVANCED_2VC, Architecture
 from repro.core.eligible import DEFAULT_OFFSET_NS, EligiblePolicy
 from repro.core.flow import FlowKind, FlowRegistry, FlowState
+from repro.core.invariants import invariant
 from repro.core.ttd import ClockDomain
 from repro.network.host import Host
 from repro.network.link import Link
@@ -250,7 +251,7 @@ class Fabric:
         )
         reserve = vc == VC_REGULATED and kind != FlowKind.CONTROL
         if reserve:
-            assert bw_bytes_per_ns is not None, "regulated flows need a rate to reserve"
+            invariant(bw_bytes_per_ns is not None, "regulated flows need a rate to reserve")
             reservation = self.admission.reserve(
                 flow.spec.flow_id, src, dst, bw_bytes_per_ns
             )

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Optional, Protocol
 
+from repro.core.invariants import invariant
 from repro.network.packet import Packet
 from repro.sim.engine import Engine
 from repro.sim.units import serialization_ns
@@ -169,7 +170,7 @@ class Link:
             self.sender.pull(self)
 
     def _deliver(self, pkt: Packet) -> None:
-        assert self.receiver is not None, f"link {self.link_id} has no receiver"
+        invariant(self.receiver is not None, "link %s has no receiver", self.link_id)
         if self.clock_domain is not None:
             # Section 3.3: the header carried TTD = deadline - local clock of
             # the sender; the receiver reconstructs a deadline on *its* clock.

@@ -37,6 +37,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.architectures import Architecture
+from repro.core.invariants import invariant
 from repro.core.queues import PacketQueue
 from repro.network.link import Link
 from repro.network.packet import N_VCS, Packet
@@ -205,7 +206,7 @@ class Switch:
         # serialization anyway, so transient over-occupancy is bounded by
         # one MTU -- see the credit-conservation tests).
         in_link = self.in_links[in_port]
-        assert in_link is not None, "packet came from an unwired input port"
+        invariant(in_link is not None, "packet came from an unwired input port")
         in_link.return_credit(pkt.vc, pkt.size)
 
     # ------------------------------------------------------------------

@@ -5,15 +5,17 @@ delivered packet -- hundreds of millions in a full run.  A reservoir of a
 few tens of thousands of samples pins the empirical quantiles to well
 under a percent while keeping memory flat.
 
-The reservoir uses its own :class:`random.Random` so sampling decisions
-never perturb the simulation's RNG streams (determinism of runs must not
-depend on whether metrics are collected).
+The reservoir uses its own private stream (derived via
+:func:`repro.sim.rng.local_stream`) so sampling decisions never perturb
+the simulation's RNG streams (determinism of runs must not depend on
+whether metrics are collected).
 """
 
 from __future__ import annotations
 
-import random
 from typing import List
+
+from repro.sim.rng import local_stream
 
 __all__ = ["Reservoir"]
 
@@ -29,7 +31,7 @@ class Reservoir:
         self.capacity = capacity
         self.items: List[float] = []
         self.seen = 0
-        self._rng = random.Random(seed)
+        self._rng = local_stream("stats.reservoir", seed)
 
     def add(self, x: float) -> None:
         self.seen += 1

@@ -12,10 +12,10 @@ actually producing the configured rate (the workload tests do).
 
 from __future__ import annotations
 
-import random
 from typing import Optional
 
 from repro.network.fabric import Fabric
+from repro.sim.rng import RandomStream
 
 __all__ = ["TrafficSource"]
 
@@ -23,7 +23,7 @@ __all__ = ["TrafficSource"]
 class TrafficSource:
     """Base class for message generators attached to one source host."""
 
-    def __init__(self, fabric: Fabric, src: int, name: str, rng: random.Random):
+    def __init__(self, fabric: Fabric, src: int, name: str, rng: RandomStream):
         if not 0 <= src < fabric.topology.n_hosts:
             raise ValueError(f"source host {src} out of range")
         self.fabric = fabric

@@ -8,11 +8,11 @@ flow, which may be regulated (reserved) or best-effort.
 
 from __future__ import annotations
 
-import random
 from typing import Optional
 
 from repro.core.flow import FlowKind, FlowState
 from repro.network.fabric import Fabric
+from repro.sim.rng import RandomStream, local_stream
 from repro.traffic.base import TrafficSource
 
 __all__ = ["CbrSource"]
@@ -32,9 +32,14 @@ class CbrSource(TrafficSource):
         tclass: str = "cbr",
         vc: Optional[int] = None,
         smoothing: bool = False,
-        rng: Optional[random.Random] = None,
+        rng: Optional[RandomStream] = None,
     ):
-        super().__init__(fabric, src, f"cbr@h{src}->h{dst}", rng or random.Random(0))
+        # CBR emission is deterministic; the stream only exists so the
+        # TrafficSource interface is uniform.  Derive it by name anyway so
+        # any future stochastic knob stays reproducible per source.
+        super().__init__(
+            fabric, src, f"cbr@h{src}->h{dst}", rng or local_stream(f"traffic.cbr.h{src}.h{dst}")
+        )
         if rate_bytes_per_ns <= 0:
             raise ValueError(f"rate must be positive, got {rate_bytes_per_ns}")
         if message_bytes <= 0:

@@ -15,12 +15,12 @@ per-host control record would in hardware.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Optional, Tuple
 
 from repro.core.deadline import ControlStamper
 from repro.core.flow import FlowKind, FlowState
 from repro.network.fabric import Fabric
+from repro.sim.rng import RandomStream
 from repro.traffic.base import TrafficSource
 
 __all__ = ["ControlSource"]
@@ -34,7 +34,7 @@ class ControlSource(TrafficSource):
         fabric: Fabric,
         src: int,
         rate_bytes_per_ns: float,
-        rng: random.Random,
+        rng: RandomStream,
         *,
         size_range: Tuple[int, int] = (128, 2048),
         tclass: str = "control",

@@ -14,8 +14,9 @@
 from __future__ import annotations
 
 import math
-import random
 from typing import Sequence
+
+from repro.sim.rng import RandomStream
 
 __all__ = ["BoundedPareto", "GopFrameSizes", "pareto_interarrival"]
 
@@ -52,7 +53,7 @@ class BoundedPareto:
         den = l**-a - h**-a
         return num / den
 
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, rng: RandomStream) -> float:
         u = rng.random()
         # Inverse CDF of the bounded Pareto.
         value = (
@@ -65,11 +66,11 @@ class BoundedPareto:
             return self.high
         return value
 
-    def sample_int(self, rng: random.Random) -> int:
+    def sample_int(self, rng: RandomStream) -> int:
         return max(int(self.low), min(int(self.high), round(self.sample(rng))))
 
 
-def pareto_interarrival(rng: random.Random, mean: float, alpha: float = 1.9) -> float:
+def pareto_interarrival(rng: RandomStream, mean: float, alpha: float = 1.9) -> float:
     """A Pareto-distributed gap with the given mean.
 
     Uses an (unbounded) Pareto with tail index ``alpha > 1`` and scale
@@ -131,7 +132,7 @@ class GopFrameSizes:
         # I frame (which would bias the offered load upward by ~2x).
         self._index = start_index % len(pattern)
 
-    def next_frame(self, rng: random.Random) -> int:
+    def next_frame(self, rng: RandomStream) -> int:
         scale = self._scales[self._index]
         self._index = (self._index + 1) % len(self.pattern)
         jitter = rng.lognormvariate(-self.sigma**2 / 2.0, self.sigma)

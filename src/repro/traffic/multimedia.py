@@ -16,12 +16,12 @@ latency (10 ms in the paper), and uses eligible-time smoothing.
 
 from __future__ import annotations
 
-import random
 from typing import Optional
 
 from repro.core.flow import FlowKind, FlowState
 from repro.network.fabric import Fabric
 from repro.sim import units
+from repro.sim.rng import RandomStream
 from repro.traffic.base import TrafficSource
 from repro.traffic.distributions import GopFrameSizes
 
@@ -40,7 +40,7 @@ class VideoStream(TrafficSource):
         fabric: Fabric,
         src: int,
         dst: int,
-        rng: random.Random,
+        rng: RandomStream,
         *,
         rate_bytes_per_ns: float = 1.5e6 / units.S,  # 1.5 MB/s in B/ns
         fps: float = 25.0,

@@ -20,12 +20,12 @@ Example -- an all-to-one barrier followed by a staggered broadcast::
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Generator, Optional, Tuple
 
 from repro.core.flow import FlowKind, FlowState
 from repro.network.fabric import Fabric
 from repro.sim.process import Delay, process
+from repro.sim.rng import local_stream
 from repro.traffic.base import TrafficSource
 
 __all__ = ["ScriptedSource"]
@@ -50,7 +50,7 @@ class ScriptedSource(TrafficSource):
         tclass: str = "scripted",
         flow_kwargs: Optional[dict] = None,
     ):
-        super().__init__(fabric, src, f"scripted@h{src}", random.Random(0))
+        super().__init__(fabric, src, f"scripted@h{src}", local_stream(f"traffic.scripted.h{src}"))
         self._script = script
         self.tclass = tclass
         self._flow_kwargs = flow_kwargs or {

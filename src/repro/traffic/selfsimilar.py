@@ -33,13 +33,13 @@ the Traditional architecture cannot provide).
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Optional
 
 from repro.constants import VC_BEST_EFFORT
 from repro.core.deadline import RateBasedStamper
 from repro.core.flow import FlowKind, FlowState
 from repro.network.fabric import Fabric
+from repro.sim.rng import RandomStream
 from repro.traffic.base import TrafficSource
 from repro.traffic.distributions import BoundedPareto, pareto_interarrival
 
@@ -54,7 +54,7 @@ class SelfSimilarSource(TrafficSource):
         fabric: Fabric,
         src: int,
         rate_bytes_per_ns: float,
-        rng: random.Random,
+        rng: RandomStream,
         *,
         tclass: str = "best-effort",
         deadline_bw_bytes_per_ns: Optional[float] = None,

@@ -31,6 +31,7 @@ from typing import Dict, IO, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.flow import FlowKind, FlowState
 from repro.network.fabric import Fabric
+from repro.sim.rng import local_stream
 from repro.traffic.base import TrafficSource
 
 __all__ = [
@@ -139,9 +140,7 @@ class TraceReplaySource(TrafficSource):
         *,
         flow_params: Optional[Dict[str, dict]] = None,
     ):
-        import random
-
-        super().__init__(fabric, src, f"replay@h{src}", random.Random(0))
+        super().__init__(fabric, src, f"replay@h{src}", local_stream(f"traffic.replay.h{src}"))
         self._records = [r for r in records if r[1] == src]
         self._cursor = 0
         self._flows: Dict[Tuple[int, str], FlowState] = {}
@@ -277,15 +276,13 @@ def video_stream_from_trace(
 ):
     """A :class:`~repro.traffic.multimedia.VideoStream` that sends the
     real sequence's frames instead of synthetic GoP sizes."""
-    import random
-
     from repro.traffic.multimedia import VideoStream
 
     stream = VideoStream(
         fabric,
         src,
         dst,
-        random.Random(start_index),
+        local_stream(f"traffic.video-trace.h{src}.h{dst}", start_index),
         rate_bytes_per_ns=trace.rate_bytes_per_ns(fps),
         fps=fps,
         target_latency_ns=target_latency_ns,

@@ -1,0 +1,10 @@
+"""Known-bad fixture: SIM006 must fire on slotless hot-path classes.
+
+The path of this file contains ``core/queues/`` on purpose -- SIM006 is
+scoped to hot-path modules.
+"""
+
+
+class HotQueue:
+    def __init__(self):
+        self.items = ()

@@ -1,0 +1,9 @@
+"""Known-bad fixture: SIM001 must fire on both import forms."""
+
+import random
+
+from random import randint
+
+
+def roll():
+    return random.random() + randint(1, 6)

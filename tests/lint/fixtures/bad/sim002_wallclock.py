@@ -1,0 +1,13 @@
+"""Known-bad fixture: SIM002 must fire on wall-clock reads."""
+
+import time
+
+from time import perf_counter
+
+
+def stamp():
+    return time.time()
+
+
+def elapsed():
+    return time.perf_counter_ns()

@@ -1,0 +1,9 @@
+"""Known-bad fixture: SIM003 must fire on float equality with time values."""
+
+
+def is_due(deadline, now_ns):
+    return deadline == now_ns * 1.0
+
+
+def matches_serialization(arrival_ns, size, bw):
+    return arrival_ns != size / bw

@@ -1,0 +1,6 @@
+"""Known-bad fixture: SIM004 must fire on bare assert statements."""
+
+
+def pop_head(queue):
+    assert queue, "queue unexpectedly empty"
+    return queue[0]

@@ -1,0 +1,10 @@
+"""Known-bad fixture: SIM005 must fire on mutable default arguments."""
+
+
+def collect(pkt, seen=[]):
+    seen.append(pkt)
+    return seen
+
+
+def tally(counts={}, *, index=set()):
+    return counts, index

@@ -1,0 +1,22 @@
+"""Known-good fixture: compliant idioms that must not trigger any rule."""
+
+
+def emit(rng, deadline_ns, now_ns, sizes=None):
+    """Randomness comes from an injected stream, time stays integer,
+    and the mutable default is constructed inside the body."""
+    if sizes is None:
+        sizes = []
+    if deadline_ns <= now_ns:
+        sizes.append(rng.random())
+    return sizes
+
+
+def same_tick(a_ns, b_ns):
+    # Integer-to-integer equality on time values is fine.
+    return a_ns == b_ns
+
+
+def check(queue):
+    if not queue:
+        raise ValueError("queue unexpectedly empty")  # not a bare assert
+    return queue[0]

@@ -1,0 +1,25 @@
+"""Known-good fixture: hot-path classes that satisfy (or are exempt
+from) SIM006."""
+
+from dataclasses import dataclass
+from typing import Protocol
+
+
+class Tagged(Protocol):  # Protocols carry no instance state
+    deadline: int
+
+
+class QueueBroken(RuntimeError):  # exceptions are exempt
+    pass
+
+
+@dataclass
+class QueueConfig:  # dataclasses manage their own layout
+    depth: int = 4
+
+
+class HotQueue:
+    __slots__ = ("items",)
+
+    def __init__(self):
+        self.items = ()

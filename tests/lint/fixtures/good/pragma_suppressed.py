@@ -1,0 +1,13 @@
+"""Known-good fixture: pragmas legitimize the flagged constructs."""
+
+import random  # simlint: allow-global-random
+
+import time
+
+
+def measure_wall_time():
+    return time.perf_counter()  # simlint: allow-wallclock
+
+
+def legacy_seed():
+    return random.Random(0)

@@ -1,0 +1,69 @@
+"""CLI tests for ``repro-qos lint``."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+HERE = Path(__file__).parent
+FIXTURES = HERE / "fixtures"
+SRC = HERE.resolve().parents[1] / "src" / "repro"
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", str(SRC)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_bad_fixtures_exit_nonzero(self, capsys):
+        assert main(["lint", str(FIXTURES / "bad")]) == 1
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["lint", str(FIXTURES / "does-not-exist")]) == 2
+        assert "lint" in capsys.readouterr().err
+
+    def test_unknown_select_is_usage_error(self, capsys):
+        assert main(["lint", "--select", "SIM999", str(SRC)]) == 2
+
+
+class TestTextOutput:
+    def test_reports_rule_ids_and_locations(self, capsys):
+        main(["lint", str(FIXTURES / "bad")])
+        out = capsys.readouterr().out
+        for rule_id in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006"):
+            assert rule_id in out
+        assert "sim004_bare_assert.py:5:" in out
+        assert "violation(s) found" in out
+
+    def test_select_limits_output(self, capsys):
+        assert main(["lint", "--select", "SIM004", str(FIXTURES / "bad")]) == 1
+        out = capsys.readouterr().out
+        assert "SIM004" in out
+        assert "SIM001" not in out
+
+
+class TestJsonOutput:
+    def test_json_format(self, capsys):
+        assert main(["lint", "--format", "json", str(FIXTURES / "bad")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == len(payload["violations"]) > 0
+        first = payload["violations"][0]
+        assert set(first) == {"path", "line", "col", "rule", "name", "message"}
+        assert first["rule"].startswith("SIM")
+
+    def test_json_clean_tree(self, capsys):
+        assert main(["lint", "--format", "json", str(SRC)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"violations": [], "count": 0}
+
+
+class TestListRules:
+    def test_lists_all_rules_with_pragma_spelling(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006"):
+            assert rule_id in out
+        assert "allow-global-random" in out
+        assert "allow-wallclock" in out

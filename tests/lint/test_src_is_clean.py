@@ -1,0 +1,31 @@
+"""The enforcement gate: the whole library tree must stay simlint-clean.
+
+This is the test that makes the determinism/invariant discipline
+permanent: any new stdlib-``random`` import, wall-clock read, bare
+assert, mutable default, float deadline comparison, or slotless hot-path
+class under ``src/`` fails CI with a file:line diagnostic.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import iter_python_files, lint_paths
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_src_tree_is_lint_clean():
+    violations = lint_paths([SRC])
+    assert not violations, "simlint violations in src/:\n" + "\n".join(
+        v.format() for v in violations
+    )
+
+
+def test_gate_actually_covers_the_tree():
+    """Guard the gate itself: the walk must see the whole library (a
+    path typo would make the clean-tree test pass vacuously)."""
+    files = list(iter_python_files([SRC]))
+    assert len(files) > 40
+    names = {f.name for f in files}
+    assert {"takeover.py", "reservoir.py", "rng.py", "runner.py"} <= names

@@ -10,6 +10,7 @@ import doctest
 import pytest
 
 import repro.core.eligible
+import repro.core.invariants
 import repro.sim.rng
 import repro.sim.units
 import repro.stats.report
@@ -18,6 +19,7 @@ import repro.sim.monitor
 MODULES = [
     repro.sim.units,
     repro.core.eligible,
+    repro.core.invariants,
     repro.stats.report,
     repro.sim.rng,
     repro.sim.monitor,
