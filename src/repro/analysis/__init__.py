@@ -11,6 +11,7 @@ static hardware inventory per architecture.
 from repro.analysis.breakdown import ClassBreakdown, LatencyBreakdown
 from repro.analysis.utilization import LinkLoad, UtilizationReport, measure_utilization
 from repro.analysis.cost import (
+    CostCounters,
     CostReport,
     HardwareInventory,
     instrument_architecture,
@@ -20,6 +21,7 @@ from repro.analysis.cost import (
 
 __all__ = [
     "ClassBreakdown",
+    "CostCounters",
     "CostReport",
     "HardwareInventory",
     "LatencyBreakdown",

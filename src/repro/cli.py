@@ -144,10 +144,30 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument(
         "--select",
         default=None,
-        help="comma-separated rule ids to run (default: all), e.g. SIM001,SIM004",
+        help="comma-separated rule ids to run (default: all), e.g. SIM001,SIM104",
     )
     lint_p.add_argument(
         "--list-rules", action="store_true", help="list the registered rules and exit"
+    )
+    lint_p.add_argument(
+        "--project",
+        action="store_true",
+        help="build the whole-program model and run the cross-module "
+        "SIM1xx rules in addition to the per-file rules",
+    )
+    lint_p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="incremental cache directory for --project runs (a warm run "
+        "over an unchanged tree re-parses zero files)",
+    )
+    lint_p.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help="print a rule's description, rationale, and a minimal "
+        "bad/good example, then exit (e.g. --explain SIM101)",
     )
     return parser
 
@@ -158,8 +178,8 @@ def _config_from(args: argparse.Namespace, *, arch: str, load: float) -> Experim
         load=load,
         seed=args.seed,
         topology=args.topology,
-        warmup_ns=round(args.warmup_us * units.US),
-        measure_ns=round(args.measure_us * units.US),
+        warmup_ns=units.us(args.warmup_us),
+        measure_ns=units.us(args.measure_us),
         mix=scaled_video_mix(load, args.time_scale),
     )
 
@@ -184,16 +204,16 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     )
     if args.figure == "fig2":
         series = fig2_control(
-            warmup_ns=round(args.warmup_us * units.US),
-            measure_ns=round(args.measure_us * units.US),
+            warmup_ns=units.us(args.warmup_us),
+            measure_ns=units.us(args.measure_us),
             **kwargs,
         )
     elif args.figure == "fig3":
         series = fig3_video(time_scale=args.time_scale, **kwargs)
     else:
         series = fig4_best_effort(
-            warmup_ns=round(args.warmup_us * units.US),
-            measure_ns=round(args.measure_us * units.US),
+            warmup_ns=units.us(args.warmup_us),
+            measure_ns=units.us(args.measure_us),
             **kwargs,
         )
     print(series.text())
@@ -216,7 +236,7 @@ def _cmd_cost(args: argparse.Namespace) -> int:
             ARCHITECTURES[name],
             topology=make_topology(args.topology),
             seed=args.seed,
-            horizon_ns=round(args.measure_us * units.US),
+            horizon_ns=units.us(args.measure_us),
             mix_config=scaled_video_mix(args.load, args.time_scale),
         )
         rows.append(report.row())
@@ -268,8 +288,8 @@ def _cmd_claims(args: argparse.Namespace) -> int:
         load=args.load,
         topology=args.topology,
         seed=args.seed,
-        warmup_ns=round(args.warmup_us * units.US),
-        measure_ns=round(args.measure_us * units.US),
+        warmup_ns=units.us(args.warmup_us),
+        measure_ns=units.us(args.measure_us),
     )
     print("Control-traffic mean latency relative to Ideal (paper: Simple ~1.25, Advanced ~1.05):")
     for arch, factor in penalties.items():
@@ -304,37 +324,115 @@ def _cmd_list() -> int:
     return 0
 
 
+def _fixture_examples(rule_id: str):
+    """(label, text) pairs for a rule's bad/good fixtures, if the
+    fixture tree is on disk (repo checkouts; not installed packages)."""
+    from pathlib import Path
+
+    candidates = [
+        Path("tests/lint/fixtures"),
+        Path(__file__).resolve().parents[2] / "tests" / "lint" / "fixtures",
+    ]
+    fixtures = next((c for c in candidates if c.is_dir()), None)
+    if fixtures is None:
+        return []
+    stem = rule_id.lower()
+    examples = []
+    for kind in ("bad", "good"):
+        for match in sorted(fixtures.glob(f"**/{kind}/**/{stem}_*")) + sorted(
+            fixtures.glob(f"**/{kind}/{stem}_*")
+        ):
+            files = (
+                sorted(p for p in match.rglob("*.py"))
+                if match.is_dir()
+                else [match]
+            )
+            for file_path in files:
+                try:
+                    text = file_path.read_text(encoding="utf-8")
+                except OSError:
+                    continue
+                examples.append((kind, str(file_path), text))
+            break  # one fixture (file or tree) per kind is plenty
+    return examples
+
+
+def _cmd_lint_explain(query: str) -> int:
+    from repro.lint import PROJECT_RULES, RULES
+
+    all_rules = {**RULES, **PROJECT_RULES}
+    wanted = query.strip()
+    rule = all_rules.get(wanted.upper()) or next(
+        (r for r in all_rules.values() if r.name == wanted.lower()), None
+    )
+    if rule is None:
+        known = ", ".join(sorted(all_rules))
+        print(f"repro-qos lint: unknown rule {query!r} (known: {known})", file=sys.stderr)
+        return 2
+    print(f"{rule.id} [{rule.name}]  (suppress: # simlint: allow-{rule.name})")
+    print(f"  {rule.description}")
+    if rule.rationale:
+        print(f"\nRationale:\n  {rule.rationale}")
+    examples = _fixture_examples(rule.id)
+    if examples:
+        for kind, path, text in examples:
+            print(f"\n{kind.capitalize()} example ({path}):")
+            for line in text.rstrip().splitlines():
+                print(f"  {line}")
+    else:
+        for kind, text in (("Bad", rule.example_bad), ("Good", rule.example_good)):
+            if text:
+                print(f"\n{kind} example:")
+                for line in text.rstrip().splitlines():
+                    print(f"  {line}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
 
-    from repro.lint import RULES, lint_paths
+    from repro.lint import PROJECT_RULES, RULES, lint_paths, lint_project
 
+    if args.explain:
+        return _cmd_lint_explain(args.explain)
     if args.list_rules:
-        for rule_id in sorted(RULES):
-            rule = RULES[rule_id]
-            print(f"{rule.id}  allow-{rule.name:<20} {rule.description}")
+        for registry in (RULES, PROJECT_RULES):
+            for rule_id in sorted(registry):
+                rule = registry[rule_id]
+                print(f"{rule.id}  allow-{rule.name:<28} {rule.description}")
         return 0
     select = args.select.split(",") if args.select else None
+    cache_stats = None
     try:
-        violations = lint_paths(args.paths, select=select)
+        if args.project:
+            violations, cache_stats = lint_project(
+                args.paths, cache_dir=args.cache_dir, select=select
+            )
+        else:
+            violations = lint_paths(args.paths, select=select)
     except (FileNotFoundError, KeyError) as exc:
         print(f"repro-qos lint: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
-        print(
-            json.dumps(
-                {
-                    "violations": [v.to_dict() for v in violations],
-                    "count": len(violations),
-                },
-                indent=2,
-            )
-        )
+        payload = {
+            "violations": [v.to_dict() for v in violations],
+            "count": len(violations),
+        }
+        if cache_stats is not None:
+            payload["cache"] = cache_stats
+        print(json.dumps(payload, indent=2))
     else:
         for violation in violations:
             print(violation.format())
         if violations:
             print(f"\n{len(violations)} violation(s) found")
+        if cache_stats is not None:
+            print(
+                f"[project: {cache_stats['files']} files, "
+                f"{cache_stats['hits']} cached, "
+                f"{cache_stats['misses']} parsed]",
+                file=sys.stderr,
+            )
     return 1 if violations else 0
 
 

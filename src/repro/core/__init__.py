@@ -35,10 +35,13 @@ from repro.core.architectures import (
     ADVANCED_2VC,
     ARCHITECTURES,
     IDEAL,
+    IDEAL_PIPELINED,
     SIMPLE_2VC,
     TRADITIONAL_2VC,
     Architecture,
+    get_architecture,
 )
+from repro.core.invariants import InvariantViolation, invariant
 
 __all__ = [
     "ADVANCED_2VC",
@@ -56,8 +59,10 @@ __all__ = [
     "FlowRegistry",
     "FlowSpec",
     "FlowState",
+    "InvariantViolation",
     "FrameBasedStamper",
     "IDEAL",
+    "IDEAL_PIPELINED",
     "PacketQueue",
     "Picker",
     "RateBasedStamper",
@@ -67,5 +72,7 @@ __all__ = [
     "TRADITIONAL_2VC",
     "TakeOverQueue",
     "deadline_from_ttd",
+    "get_architecture",
+    "invariant",
     "ttd_from_deadline",
 ]

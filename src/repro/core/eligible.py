@@ -17,7 +17,7 @@ from repro.sim import units
 __all__ = ["EligiblePolicy"]
 
 #: The offset the paper reports to work well (Section 3.1).
-DEFAULT_OFFSET_NS = 20 * units.US
+DEFAULT_OFFSET_NS = units.us(20)
 
 
 class EligiblePolicy:

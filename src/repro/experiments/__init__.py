@@ -22,6 +22,7 @@ from repro.experiments.figures import (
     fig2_control,
     fig3_video,
     fig4_best_effort,
+    DEFAULT_LOADS,
     order_error_penalties,
     sweep,
 )
@@ -29,6 +30,7 @@ from repro.experiments.replication import (
     MetricSummary,
     Replication,
     replicate,
+    run_one,
 )
 from repro.experiments.export import (
     figure_to_csv,
@@ -38,6 +40,7 @@ from repro.experiments.export import (
 )
 
 __all__ = [
+    "DEFAULT_LOADS",
     "ExperimentConfig",
     "FigureSeries",
     "MetricSummary",
@@ -54,6 +57,7 @@ __all__ = [
     "replicate",
     "result_to_json",
     "run_experiment",
+    "run_one",
     "scaled_video_mix",
     "sweep",
     "write_figure",

@@ -29,7 +29,7 @@ def scaled_video_mix(load: float, time_scale: float = 0.1, **overrides) -> Traff
     return TrafficMixConfig(
         load=load,
         video_fps=25.0 / time_scale,
-        video_target_latency_ns=round(10 * units.MS * time_scale),
+        video_target_latency_ns=units.ms(10 * time_scale),
         video_stream_rate_bytes_per_ns=(1.5e6 / units.S) / time_scale,
         **overrides,
     )
@@ -48,8 +48,8 @@ class ExperimentConfig:
     load: float = 1.0
     seed: int = 1
     topology: str = "small"
-    warmup_ns: int = 200 * units.US
-    measure_ns: int = 1 * units.MS
+    warmup_ns: int = units.us(200)
+    measure_ns: int = units.ms(1)
     params: FabricParams = field(default_factory=FabricParams)
     mix: Optional[TrafficMixConfig] = None
 

@@ -77,8 +77,8 @@ def sweep(
     *,
     topology: str = "small",
     seed: int = 1,
-    warmup_ns: int = 200 * units.US,
-    measure_ns: int = 1 * units.MS,
+    warmup_ns: int = units.us(200),
+    measure_ns: int = units.ms(1),
     mix_factory: Optional[Callable[[float], object]] = None,
 ) -> Dict[Tuple[str, float], RunResult]:
     """Run every (architecture, load) combination once."""
@@ -112,8 +112,8 @@ def fig2_control(
     *,
     topology: str = "small",
     seed: int = 1,
-    warmup_ns: int = 200 * units.US,
-    measure_ns: int = 1 * units.MS,
+    warmup_ns: int = units.us(200),
+    measure_ns: int = units.ms(1),
     cdf_points: int = 12,
     results: Optional[Dict[Tuple[str, float], RunResult]] = None,
 ) -> FigureSeries:
@@ -168,8 +168,8 @@ def fig3_video(
     ``lat/target`` column is scale-free, so the paper's "frames arrive at
     almost exactly the 10 ms target" claim reads directly off it.
     """
-    target_ns = round(10 * units.MS * time_scale)
-    frame_period_ns = round(40 * units.MS * time_scale)
+    target_ns = units.ms(10 * time_scale)
+    frame_period_ns = units.ms(40 * time_scale)
     if warmup_ns is None:
         warmup_ns = 2 * frame_period_ns
     if measure_ns is None:
@@ -226,8 +226,8 @@ def fig4_best_effort(
     *,
     topology: str = "small",
     seed: int = 1,
-    warmup_ns: int = 200 * units.US,
-    measure_ns: int = 1 * units.MS,
+    warmup_ns: int = units.us(200),
+    measure_ns: int = units.ms(1),
     results: Optional[Dict[Tuple[str, float], RunResult]] = None,
 ) -> FigureSeries:
     """Figure 4: delivered throughput of the two best-effort classes."""
@@ -278,8 +278,8 @@ def order_error_penalties(
     load: float = 1.0,
     topology: str = "small",
     seed: int = 1,
-    warmup_ns: int = 200 * units.US,
-    measure_ns: int = 1 * units.MS,
+    warmup_ns: int = units.us(200),
+    measure_ns: int = units.ms(1),
     results: Optional[Dict[Tuple[str, float], RunResult]] = None,
 ) -> Dict[str, float]:
     """Section 3.4 / Section 5 headline: control-latency overhead vs Ideal.

@@ -7,7 +7,7 @@ guarding a Lemma 1 invariant vanishes under ``python -O``.  simlint
 encodes those project rules as AST checks and gates the tree on them
 (``tests/lint/test_src_is_clean.py`` keeps ``src/`` clean forever).
 
-Rules (see :mod:`repro.lint.rules` for the registry and how to add one):
+Per-file rules (see :mod:`repro.lint.rules`):
 
 ========  ==================  ==================================================
 ID        pragma name         what it forbids
@@ -20,29 +20,59 @@ SIM005    mutable-default     mutable default arguments
 SIM006    missing-slots       hot-path queue/packet classes without ``__slots__``
 ========  ==================  ==================================================
 
+Project rules -- run with ``repro-qos lint --project`` -- parse the whole
+tree into a symbol table, import graph and approximate call graph
+(:mod:`repro.lint.projectmodel`, :mod:`repro.lint.callgraph`) and check
+cross-module properties (see :mod:`repro.lint.project_rules`):
+
+========  ===========================  ====================================
+ID        pragma name                  what it forbids
+========  ===========================  ====================================
+SIM101    unit-dimension               mixing ns/us/bytes quantities
+SIM102    nondeterministic-iteration   set iteration reaching the engine
+SIM103    dead-export                  ``__all__`` entries imported nowhere
+SIM104    hot-path-purity              I/O on the engine/switch/queue path
+========  ===========================  ====================================
+
 A violation is suppressed by putting ``# simlint: allow-<pragma-name>``
-on the offending line; pragmas naming unknown rules are themselves
-reported (SIM000) so a typo cannot silently disable a check.
+(or ``allow-<lowercase-id>``, e.g. ``allow-sim101``) on the offending
+line; pragmas naming unknown rules are themselves reported (SIM000) so a
+typo cannot silently disable a check.
 
-Run it as ``repro-qos lint [paths...]`` or programmatically::
+Run it as ``repro-qos lint [--project] [paths...]`` or programmatically::
 
-    from repro.lint import lint_paths
+    from repro.lint import lint_paths, lint_project
     violations = lint_paths(["src/repro"])
+    violations, cache_stats = lint_project(["src/repro"], cache_dir=".simlint-cache")
 """
 
 from __future__ import annotations
 
+from repro.lint.pragmas import Pragma, parse_pragmas
+from repro.lint.project_rules import PROJECT_RULES, ProjectRule, register_project_rule
 from repro.lint.rules import RULES, Rule, register_rule
-from repro.lint.runner import iter_python_files, lint_file, lint_paths, lint_source
+from repro.lint.runner import (
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_project,
+    lint_source,
+)
 from repro.lint.violations import Violation
 
 __all__ = [
+    "PROJECT_RULES",
+    "Pragma",
+    "ProjectRule",
     "RULES",
     "Rule",
     "Violation",
     "iter_python_files",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "lint_source",
+    "parse_pragmas",
+    "register_project_rule",
     "register_rule",
 ]

@@ -1,0 +1,112 @@
+"""File-hash-keyed incremental cache for the project analysis.
+
+Parsing and summarising every module in ``src/`` dominates the cost of a
+``repro-qos lint --project`` run, yet between two runs almost nothing
+changes.  The cache stores each file's extracted :class:`~repro.lint.
+projectmodel.ModuleSummary` (a plain JSON-serialisable dict) keyed by
+the SHA-256 of the file's *content* -- not its mtime -- so a warm run
+over an unchanged tree re-parses **zero** files, while any edit (or a
+git checkout that restores an old mtime) invalidates exactly the files
+whose bytes changed.
+
+Entries are additionally keyed by a schema version: bumping
+:data:`CACHE_SCHEMA_VERSION` when the summary format changes makes stale
+caches self-invalidate instead of crashing the loader.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["SummaryCache", "hash_source"]
+
+#: Bump when the ModuleSummary serialisation format changes.
+CACHE_SCHEMA_VERSION = 1
+
+#: File name used inside the cache directory.
+CACHE_FILE_NAME = "projectmodel.json"
+
+JsonDict = Dict[str, Any]
+
+
+def hash_source(source: str) -> str:
+    """Content hash used as the cache key for one file."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class SummaryCache:
+    """Maps file content hashes to serialised module summaries.
+
+    The cache is loaded once, consulted per file during the project
+    scan, and written back with :meth:`save`.  ``hits``/``misses`` count
+    lookups during this process's lifetime and are surfaced in the CLI's
+    JSON output so CI (and the tests) can assert that a warm run
+    re-parsed nothing.
+
+    A ``cache_dir`` of ``None`` gives an in-memory cache: same API, no
+    persistence -- callers never need to special-case "caching off".
+    """
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, JsonDict] = {}
+        self._load()
+
+    def _cache_file(self) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / CACHE_FILE_NAME
+
+    def _load(self) -> None:
+        cache_file = self._cache_file()
+        if cache_file is None or not cache_file.is_file():
+            return
+        try:
+            payload = json.loads(cache_file.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return  # unreadable/corrupt cache == cold cache
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def get(self, source_hash: str) -> Optional[JsonDict]:
+        """The cached summary for a content hash, counting hit/miss."""
+        entry = self._entries.get(source_hash)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, source_hash: str, summary: JsonDict) -> None:
+        self._entries[source_hash] = summary
+
+    def prune(self, live_hashes: "set[str]") -> None:
+        """Drop entries for files no longer in the tree, so the cache
+        file does not grow without bound across renames/deletions."""
+        self._entries = {
+            key: value for key, value in self._entries.items() if key in live_hashes
+        }
+
+    def save(self) -> None:
+        """Persist to disk (no-op for in-memory caches)."""
+        cache_file = self._cache_file()
+        if cache_file is None:
+            return
+        cache_file.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": CACHE_SCHEMA_VERSION, "entries": self._entries}
+        # Write-then-rename so a crashed run never leaves a torn cache.
+        tmp = cache_file.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        tmp.replace(cache_file)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters in the shape the CLI JSON schema exposes."""
+        return {"hits": self.hits, "misses": self.misses}

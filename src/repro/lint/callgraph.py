@@ -1,0 +1,116 @@
+"""Approximate call graph over the project model.
+
+Nodes are ``(module_name, function_qualname)`` pairs; an edge exists
+when a call site's dotted callee resolves -- through the caller's import
+bindings, its own top-level symbols, or ``self.`` method dispatch -- to
+a function (or class constructor) defined somewhere in the model.
+
+The graph is deliberately *approximate*: calls through instance
+attributes (``self.engine.after``) cannot be resolved statically, so the
+rules that need them (SIM102's "does this iteration order reach the
+event engine?") combine graph reachability with a small set of
+well-known sink method names.  False negatives are possible; false
+edges are not, which keeps the rules' findings explainable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.projectmodel import ModuleSummary, ProjectModel
+
+__all__ = ["CallGraph", "Node"]
+
+#: (module_name, function_qualname)
+Node = Tuple[str, str]
+
+
+class CallGraph:
+    """Forward and reverse adjacency over resolved call edges."""
+
+    def __init__(self, model: ProjectModel) -> None:
+        self.model = model
+        self.edges: Dict[Node, Set[Node]] = {}
+        self.reverse: Dict[Node, Set[Node]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for summary in self.model.summaries():
+            for fact in summary.functions.values():
+                caller: Node = (summary.module, fact.qualname)
+                self.edges.setdefault(caller, set())
+                for call in fact.calls:
+                    target = self.model.function_fact(call.resolved)
+                    if target is None:
+                        continue
+                    target_summary, target_fact = target
+                    callee: Node = (target_summary.module, target_fact.qualname)
+                    self.edges[caller].add(callee)
+                    self.reverse.setdefault(callee, set()).add(caller)
+
+    def nodes(self) -> List[Node]:
+        return sorted(self.edges)
+
+    def summary_of(self, node: Node) -> Optional[ModuleSummary]:
+        return self.model.modules.get(node[0])
+
+    def reachable_from(self, roots: Iterable[Node]) -> Dict[Node, Node]:
+        """Forward closure: node -> the root it was first discovered
+        from (the witness used for provenance).  Roots map to
+        themselves."""
+        witness: Dict[Node, Node] = {}
+        queue: deque = deque()
+        for root in sorted(set(roots)):
+            if root not in witness:
+                witness[root] = root
+                queue.append(root)
+        while queue:
+            node = queue.popleft()
+            for successor in sorted(self.edges.get(node, ())):
+                if successor not in witness:
+                    witness[successor] = witness[node]
+                    queue.append(successor)
+        return witness
+
+    def nodes_reaching(self, base: Iterable[Node]) -> Dict[Node, Node]:
+        """Reverse closure: every node from which some ``base`` node is
+        reachable, mapped to the base node it reaches (the witness)."""
+        witness: Dict[Node, Node] = {}
+        queue: deque = deque()
+        for node in sorted(set(base)):
+            if node not in witness:
+                witness[node] = node
+                queue.append(node)
+        while queue:
+            node = queue.popleft()
+            for predecessor in sorted(self.reverse.get(node, ())):
+                if predecessor not in witness:
+                    witness[predecessor] = witness[node]
+                    queue.append(predecessor)
+        return witness
+
+    def nodes_in_modules(self, path_patterns: Iterable[str]) -> Set[Node]:
+        """All functions defined in modules whose posix path contains
+        one of ``path_patterns`` (the SIM006-style scoping idiom)."""
+        patterns = tuple(path_patterns)
+        selected: Set[Node] = set()
+        for summary in self.model.summaries():
+            if any(pattern in summary.path for pattern in patterns):
+                for qualname in summary.functions:
+                    selected.add((summary.module, qualname))
+        return selected
+
+    def nodes_calling_attrs(self, attr_names: FrozenSet[str]) -> Set[Node]:
+        """Functions making an *unresolved* attribute call whose method
+        name is in ``attr_names`` -- the heuristic that catches
+        ``self.engine.after(...)`` style sink contact the resolver
+        cannot see."""
+        selected: Set[Node] = set()
+        for summary in self.model.summaries():
+            for fact in summary.functions.values():
+                for call in fact.calls:
+                    if call.resolved is None and call.attr in attr_names:
+                        selected.add((summary.module, fact.qualname))
+                        break
+        return selected

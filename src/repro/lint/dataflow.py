@@ -1,0 +1,608 @@
+"""Lightweight unit-dimension dataflow over naming conventions.
+
+The library's correctness rests on two base quantities -- integer
+**nanoseconds** for time and **bytes** for data (`repro.sim.units`) --
+and on the naming discipline that marks them: ``*_ns``, ``*_us``,
+``*_ms``, ``*_bytes``, ``*_bytes_per_ns``.  This module turns those
+conventions into a small dimension domain and an intra-procedural
+inference that:
+
+- classifies identifiers by suffix (``deadline_ns`` -> ``ns``,
+  ``size_bytes`` -> ``bytes``, ``rate_bytes_per_ns`` -> ``rate``);
+- recognises the sanctioned constructions from ``repro.sim.units``
+  (``us(20)``/``ms(10)``/``s(1)`` produce ``ns``; ``20 * US`` converts
+  to ``ns``; ``8 * KB`` to ``bytes``);
+- applies a tiny dimensional algebra (``bytes / rate -> ns``,
+  ``ns * rate -> bytes``, division by a scalar preserves dimension);
+- flags additive mixing of incompatible dimensions (``x_bytes +
+  now_ns``) as it walks.
+
+The per-function walk also records every call site (with the inferred
+dimension of each argument -- the raw material for the interprocedural
+SIM101 check and for the call graph), every iteration over an unordered
+``set`` (SIM102), and every I/O or logging call (SIM104).  Everything it
+produces is JSON-serialisable so the project cache can replay it without
+re-parsing the file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "FunctionAnalyzer",
+    "FunctionFact",
+    "classify_name",
+    "dims_compatible",
+]
+
+#: A dimension is one of: "ns", "us", "ms", "s", "bytes", "rate",
+#: "scalar" -- or ``None`` when inference cannot tell (never flagged).
+Dim = str
+
+TIME_DIMS = frozenset({"ns", "us", "ms", "s"})
+
+#: Suffix -> dimension, longest suffix first so ``_bytes_per_ns`` is not
+#: misread as ``_ns``.
+_SUFFIX_DIMS: Tuple[Tuple[str, Dim], ...] = (
+    ("_bytes_per_ns", "rate"),
+    ("_bytes", "bytes"),
+    ("_ns", "ns"),
+    ("_us", "us"),
+    ("_ms", "ms"),
+)
+
+#: Whole identifiers with a known dimension (parameter names in
+#: ``sim/units.py`` and ubiquitous locals).
+_EXACT_DIMS: Mapping[str, Dim] = {
+    "bytes_per_ns": "rate",
+    "size_bytes": "bytes",
+    "now": "ns",
+    "deadline": "ns",
+}
+
+#: Well-known origins in ``repro.sim.units``: conversion constants...
+_TIME_CONSTS = frozenset({"repro.sim.units.US", "repro.sim.units.MS", "repro.sim.units.S"})
+_DATA_CONSTS = frozenset({"repro.sim.units.KB", "repro.sim.units.MB"})
+#: ...and the sanctioned constructors, which all return integer ns.
+_NS_CONSTRUCTORS = frozenset({"repro.sim.units.us", "repro.sim.units.ms", "repro.sim.units.s"})
+
+#: Calls preserving the dimension of their (first) argument.
+_DIM_PRESERVING_CALLS = frozenset({"round", "int", "float", "abs", "min", "max"})
+
+#: Receiver attribute names that read as logging emitters.
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "warn", "error", "critical", "exception", "log"}
+)
+_LOG_RECEIVERS = frozenset({"log", "logger", "logging"})
+
+
+def classify_name(identifier: str) -> Optional[Dim]:
+    """Dimension implied by an identifier's naming convention, if any."""
+    lowered = identifier.lower()
+    exact = _EXACT_DIMS.get(lowered)
+    if exact is not None:
+        return exact
+    for suffix, dim in _SUFFIX_DIMS:
+        if lowered.endswith(suffix):
+            return dim
+    return None
+
+
+def dims_compatible(a: Optional[Dim], b: Optional[Dim]) -> bool:
+    """Whether two inferred dimensions may meet (additively or as an
+    argument/parameter pair) without complaint.  Unknown (``None``) and
+    ``scalar`` are compatible with everything: the checker only fires
+    when *both* sides are confidently dimensioned and disagree."""
+    if a is None or b is None:
+        return True
+    if a == "scalar" or b == "scalar":
+        return True
+    return a == b
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, '' when not a plain chain."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+@dataclass
+class CallFact:
+    """One call site: who is (maybe) called, with what dimensions."""
+
+    raw: str  # dotted callee as written ("self.engine.after"), "" if opaque
+    resolved: Optional[str]  # absolute dotted origin, when bindings resolve it
+    attr: str  # terminal attribute/function name ("after")
+    line: int
+    col: int
+    arg_dims: List[Optional[Dim]] = field(default_factory=list)
+    kw_dims: Dict[str, Optional[Dim]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "raw": self.raw,
+            "resolved": self.resolved,
+            "attr": self.attr,
+            "line": self.line,
+            "col": self.col,
+            "arg_dims": self.arg_dims,
+            "kw_dims": self.kw_dims,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CallFact":
+        return cls(
+            raw=payload["raw"],
+            resolved=payload["resolved"],
+            attr=payload["attr"],
+            line=payload["line"],
+            col=payload["col"],
+            arg_dims=list(payload["arg_dims"]),
+            kw_dims=dict(payload["kw_dims"]),
+        )
+
+
+@dataclass
+class FunctionFact:
+    """Everything the project rules need to know about one function."""
+
+    qualname: str  # "f", "Class.method", or "<module>"
+    line: int
+    params: List[str] = field(default_factory=list)
+    is_method: bool = False
+    calls: List[CallFact] = field(default_factory=list)
+    #: (line, col, detail) for each iteration over an unordered set.
+    set_iters: List[Tuple[int, int, str]] = field(default_factory=list)
+    #: (line, col, detail) for each I/O / logging call.
+    io_calls: List[Tuple[int, int, str]] = field(default_factory=list)
+    #: (line, col, detail) for additive mixing of incompatible dims.
+    mixes: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "line": self.line,
+            "params": self.params,
+            "is_method": self.is_method,
+            "calls": [call.to_dict() for call in self.calls],
+            "set_iters": [list(item) for item in self.set_iters],
+            "io_calls": [list(item) for item in self.io_calls],
+            "mixes": [list(item) for item in self.mixes],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FunctionFact":
+        return cls(
+            qualname=payload["qualname"],
+            line=payload["line"],
+            params=list(payload["params"]),
+            is_method=payload["is_method"],
+            calls=[CallFact.from_dict(c) for c in payload["calls"]],
+            set_iters=[(i[0], i[1], i[2]) for i in payload["set_iters"]],
+            io_calls=[(i[0], i[1], i[2]) for i in payload["io_calls"]],
+            mixes=[(i[0], i[1], i[2]) for i in payload["mixes"]],
+        )
+
+
+class FunctionAnalyzer:
+    """One pass over a function (or module-level) body.
+
+    ``bindings`` maps local names to absolute dotted origins (built from
+    the module's imports by the project model); ``module_name`` anchors
+    module-local symbols so ``US`` inside ``repro.sim.units`` itself
+    resolves to ``repro.sim.units.US``.
+    """
+
+    def __init__(
+        self,
+        bindings: Mapping[str, str],
+        module_name: str,
+        module_symbols: Iterable[str],
+        class_name: Optional[str] = None,
+    ) -> None:
+        self.bindings = bindings
+        self.module_name = module_name
+        self.module_symbols = frozenset(module_symbols)
+        self.class_name = class_name
+        self.env: Dict[str, Optional[Dim]] = {}
+        self.set_vars: Dict[str, bool] = {}
+        self.fact: Optional[FunctionFact] = None
+        self._in_raise = 0
+
+    # -- origin resolution -------------------------------------------------
+
+    def resolve_origin(self, node: ast.AST) -> Optional[str]:
+        """Absolute dotted origin of a Name/Attribute chain, if known."""
+        dotted = dotted_name(node)
+        if not dotted:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head == "self":
+            if self.class_name is not None and rest and "." not in rest:
+                return f"{self.module_name}.{self.class_name}.{rest}"
+            return None
+        origin = self.bindings.get(head)
+        if origin is None:
+            if head in self.module_symbols:
+                origin = f"{self.module_name}.{head}"
+            else:
+                return None
+        return f"{origin}.{rest}" if rest else origin
+
+    def _const_kind(self, node: ast.AST) -> Optional[str]:
+        """'time' / 'data' when ``node`` is a units conversion constant."""
+        origin = self.resolve_origin(node)
+        if origin in _TIME_CONSTS:
+            return "time"
+        if origin in _DATA_CONSTS:
+            return "data"
+        return None
+
+    # -- dimension inference -----------------------------------------------
+
+    def infer(self, node: ast.expr) -> Optional[Dim]:
+        """Infer the dimension of an expression, recording call facts,
+        mixing findings, and I/O calls along the way."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return None
+            if isinstance(node.value, (int, float)):
+                return "scalar"
+            return None
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            const = self._const_kind(node)
+            if const is not None:
+                return "ns" if const == "time" else "bytes"
+            return classify_name(node.id)
+        if isinstance(node, ast.Attribute):
+            self.infer(node.value)
+            const = self._const_kind(node)
+            if const is not None:
+                return "ns" if const == "time" else "bytes"
+            return classify_name(node.attr)
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.IfExp):
+            self.infer(node.test)
+            a = self.infer(node.body)
+            b = self.infer(node.orelse)
+            return a if a == b else None
+        if isinstance(node, ast.Compare):
+            self.infer(node.left)
+            for comparator in node.comparators:
+                self.infer(comparator)
+            return None
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.infer(value)
+            return None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                self.infer(element)
+            return None
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    self.infer(key)
+            for value in node.values:
+                self.infer(value)
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            self._visit_comprehension(node.generators)
+            self.infer(node.elt)
+            return None
+        if isinstance(node, ast.DictComp):
+            self._visit_comprehension(node.generators)
+            self.infer(node.key)
+            self.infer(node.value)
+            return None
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self.infer(value.value)
+            return None
+        if isinstance(node, (ast.Subscript, ast.Starred)):
+            self.infer(node.value)
+            return None
+        return None
+
+    def _infer_binop(self, node: ast.BinOp) -> Optional[Dim]:
+        left_dim = self.infer(node.left)
+        right_dim = self.infer(node.right)
+        if isinstance(node.op, ast.Mult):
+            # `x * US` / `KB * x` is the sanctioned conversion idiom:
+            # whatever the left operand was scaled in, the product is in
+            # base units (ns / bytes).
+            for operand in (node.left, node.right):
+                const = self._const_kind(operand)
+                if const is not None:
+                    return "ns" if const == "time" else "bytes"
+            if left_dim == "scalar":
+                return right_dim
+            if right_dim == "scalar":
+                return left_dim
+            if {left_dim, right_dim} == {"ns", "rate"}:
+                return "bytes"
+            return None
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            if right_dim == "scalar":
+                return left_dim
+            if left_dim == "bytes" and right_dim == "rate":
+                return "ns"
+            if left_dim == "bytes" and right_dim == "ns":
+                return "rate"
+            if left_dim is not None and left_dim == right_dim:
+                return "scalar"
+            return None
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if not dims_compatible(left_dim, right_dim):
+                self._record_mix(node, left_dim, right_dim)
+                return None
+            if left_dim == "scalar":
+                return right_dim
+            if right_dim == "scalar":
+                return left_dim
+            return left_dim if left_dim == right_dim else None
+        if isinstance(node.op, ast.Mod):
+            return left_dim
+        return None
+
+    def _record_mix(self, node: ast.BinOp, left: Optional[Dim], right: Optional[Dim]) -> None:
+        if self.fact is None:
+            return
+        op = "+" if isinstance(node.op, ast.Add) else "-"
+        self.fact.mixes.append(
+            (
+                node.lineno,
+                node.col_offset,
+                f"arithmetic mixes `{left}` with `{right}` ({left} {op} {right})",
+            )
+        )
+
+    def _infer_call(self, node: ast.Call) -> Optional[Dim]:
+        arg_dims: List[Optional[Dim]] = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                self.infer(arg.value)
+                arg_dims.append(None)
+            else:
+                arg_dims.append(self.infer(arg))
+        kw_dims: Dict[str, Optional[Dim]] = {}
+        for keyword in node.keywords:
+            value_dim = self.infer(keyword.value)
+            if keyword.arg is not None:
+                kw_dims[keyword.arg] = value_dim
+
+        raw = dotted_name(node.func)
+        if not raw and isinstance(node.func, (ast.Attribute, ast.Subscript, ast.Call)):
+            self.infer(node.func)  # still record nested facts
+        resolved = self.resolve_origin(node.func)
+        attr = raw.rsplit(".", 1)[-1] if raw else ""
+        if self.fact is not None:
+            self.fact.calls.append(
+                CallFact(
+                    raw=raw,
+                    resolved=resolved,
+                    attr=attr,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    arg_dims=arg_dims,
+                    kw_dims=kw_dims,
+                )
+            )
+            self._check_io_call(node, raw, resolved, attr)
+
+        # Return dimension of the call, for flow through assignments.
+        if resolved in _NS_CONSTRUCTORS:
+            return "ns"
+        if attr in _DIM_PRESERVING_CALLS and arg_dims:
+            known = {d for d in arg_dims if d is not None and d != "scalar"}
+            if len(known) == 1:
+                return known.pop()
+            return arg_dims[0] if len(arg_dims) == 1 else None
+        if attr:
+            return classify_name(attr)
+        return None
+
+    # -- SIM104 raw material -----------------------------------------------
+
+    def _check_io_call(
+        self, node: ast.Call, raw: str, resolved: Optional[str], attr: str
+    ) -> None:
+        if self._in_raise or self.fact is None:
+            return
+        detail: Optional[str] = None
+        if raw in ("print", "open", "input"):
+            detail = f"calls `{raw}()`"
+        elif raw.startswith(("sys.stdout.", "sys.stderr.")) and attr in ("write", "flush"):
+            detail = f"writes to `{raw.rsplit('.', 1)[0]}`"
+        elif raw.startswith("logging."):
+            detail = f"calls `{raw}()` (logging)"
+        else:
+            head = raw.split(".", 1)[0] if raw else ""
+            receiver = raw.rsplit(".", 2)[-2] if raw.count(".") else ""
+            if attr in _LOG_METHODS and (
+                head in _LOG_RECEIVERS or receiver in _LOG_RECEIVERS
+            ):
+                detail = f"calls `{raw}()` (logging; builds its message eagerly)"
+        if detail is not None:
+            self.fact.io_calls.append((node.lineno, node.col_offset, detail))
+
+    # -- SIM102 raw material -----------------------------------------------
+
+    def _is_set_expr(self, node: ast.expr) -> Optional[str]:
+        """A human-readable description when ``node`` is unordered-set
+        valued, else ``None``."""
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted in ("set", "frozenset"):
+                return f"`{dotted}(...)`"
+        if isinstance(node, ast.Name) and self.set_vars.get(node.id):
+            return f"set-valued variable `{node.id}`"
+        return None
+
+    def _note_iteration(self, iter_node: ast.expr) -> None:
+        if self.fact is None:
+            return
+        detail = self._is_set_expr(iter_node)
+        if detail is not None:
+            self.fact.set_iters.append(
+                (
+                    iter_node.lineno,
+                    iter_node.col_offset,
+                    f"iterates over {detail} (unordered)",
+                )
+            )
+
+    def _visit_comprehension(self, generators: List[ast.comprehension]) -> None:
+        for generator in generators:
+            self._note_iteration(generator.iter)
+            self.infer(generator.iter)
+            for condition in generator.ifs:
+                self.infer(condition)
+
+    # -- statement walk ----------------------------------------------------
+
+    def run(self, fact: FunctionFact, body: List[ast.stmt]) -> FunctionFact:
+        """Analyze ``body`` into ``fact`` (env seeded from parameters)."""
+        self.fact = fact
+        for param in fact.params:
+            dim = classify_name(param)
+            if dim is not None:
+                self.env[param] = dim
+        self._visit_block(body)
+        return fact
+
+    def _assign_target(self, target: ast.expr, dim: Optional[Dim], is_set: bool) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = dim
+            self.set_vars[target.id] = is_set
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign_target(element, None, False)
+
+    def _visit_block(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            dim = self.infer(stmt.value)
+            is_set = self._is_set_expr(stmt.value) is not None
+            for target in stmt.targets:
+                self._assign_target(target, dim, is_set)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value_dim = self.infer(stmt.value)
+                if isinstance(stmt.target, ast.Name):
+                    declared = classify_name(stmt.target.id)
+                    if not dims_compatible(declared, value_dim) and self.fact is not None:
+                        self.fact.mixes.append(
+                            (
+                                stmt.lineno,
+                                stmt.col_offset,
+                                f"`{stmt.target.id}` ({declared}) assigned a "
+                                f"`{value_dim}` value",
+                            )
+                        )
+                self._assign_target(
+                    stmt.target, value_dim, self._is_set_expr(stmt.value) is not None
+                )
+        elif isinstance(stmt, ast.AugAssign):
+            target_dim = self.infer(stmt.target) if isinstance(
+                stmt.target, (ast.Name, ast.Attribute)
+            ) else None
+            value_dim = self.infer(stmt.value)
+            if isinstance(stmt.op, (ast.Add, ast.Sub)) and not dims_compatible(
+                target_dim, value_dim
+            ):
+                if self.fact is not None:
+                    self.fact.mixes.append(
+                        (
+                            stmt.lineno,
+                            stmt.col_offset,
+                            f"augmented assignment mixes `{target_dim}` "
+                            f"with `{value_dim}`",
+                        )
+                    )
+        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            if stmt.value is not None:
+                self.infer(stmt.value)
+        elif isinstance(stmt, ast.For):
+            self._note_iteration(stmt.iter)
+            self.infer(stmt.iter)
+            self._assign_target(stmt.target, None, False)
+            self._visit_block(stmt.body)
+            self._visit_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.infer(stmt.test)
+            self._visit_block(stmt.body)
+            self._visit_block(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self.infer(stmt.test)
+            self._visit_block(stmt.body)
+            self._visit_block(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.infer(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign_target(item.optional_vars, None, False)
+            self._visit_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._visit_block(stmt.body)
+            for handler in stmt.handlers:
+                self._visit_block(handler.body)
+            self._visit_block(stmt.orelse)
+            self._visit_block(stmt.finalbody)
+        elif isinstance(stmt, ast.Raise):
+            # Building an error message on the way out is fine; only the
+            # happy path must stay pure (SIM104) -- but the calls are
+            # still recorded for the call graph.
+            self._in_raise += 1
+            if stmt.exc is not None:
+                self.infer(stmt.exc)
+            if stmt.cause is not None:
+                self.infer(stmt.cause)
+            self._in_raise -= 1
+        elif isinstance(stmt, (ast.Assert, ast.Delete)):
+            for value in ast.iter_child_nodes(stmt):
+                if isinstance(value, ast.expr):
+                    self.infer(value)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A closure's calls are attributed to the enclosing function:
+            # an inner callback handed to the engine still runs on the
+            # caller's path, so its facts belong to the caller.
+            for arg in [
+                *stmt.args.posonlyargs,
+                *stmt.args.args,
+                *stmt.args.kwonlyargs,
+            ]:
+                dim = classify_name(arg.arg)
+                if dim is not None:
+                    self.env[arg.arg] = dim
+            self._visit_block(stmt.body)
+        elif isinstance(stmt, ast.ClassDef):
+            # Nested class in a function body: analyze field defaults.
+            for inner in stmt.body:
+                if isinstance(inner, (ast.Assign, ast.AnnAssign)):
+                    self._visit_stmt(inner)
+        # Import/Global/Pass/etc. carry no expressions to analyze.

@@ -1,0 +1,356 @@
+"""The interprocedural SIM1xx rules, run over the project model.
+
+Unlike the per-file SIM0xx rules (:mod:`repro.lint.rules`), these see
+every module of the scanned tree at once -- the import graph, the
+approximate call graph, and the per-function dataflow facts -- so each
+finding can say *which files contributed* (``Violation.provenance``).
+
+========  ===========================  ====================================
+ID        pragma name                  what it forbids
+========  ===========================  ====================================
+SIM101    unit-dimension               mixing time/data dimensions (a µs
+                                       value into an ``*_ns`` parameter,
+                                       ``bytes + ns`` arithmetic)
+SIM102    nondeterministic-iteration   iterating an unordered set where
+                                       the order can reach the engine, a
+                                       queue, or a stats emitter
+SIM103    dead-export                  ``__all__`` entries imported
+                                       nowhere in the project
+SIM104    hot-path-purity              I/O or eager log-string building
+                                       in functions reachable from the
+                                       engine/switch/queue hot path
+========  ===========================  ====================================
+
+A finding is suppressed on its line with ``# simlint: allow-<name>`` or
+``# simlint: allow-sim1xx`` (the lowercase rule id works as a pragma
+alias for every rule).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple, Type
+
+from repro.lint.callgraph import CallGraph, Node
+from repro.lint.dataflow import classify_name, dims_compatible
+from repro.lint.projectmodel import ProjectModel
+from repro.lint.violations import Violation
+
+__all__ = ["PROJECT_RULES", "ProjectRule", "register_project_rule"]
+
+
+class ProjectRule:
+    """Base class for whole-program rules."""
+
+    #: Stable identifier, ``SIM1`` + two digits.
+    id: str = ""
+    #: Pragma name (``simlint: allow-<name>`` suppresses the rule).
+    name: str = ""
+    #: One-line description (``repro-qos lint --list-rules``).
+    description: str = ""
+    #: Longer why-this-matters text (``repro-qos lint --explain``).
+    rationale: str = ""
+    #: Minimal embedded examples, used by ``--explain`` when the fixture
+    #: tree is not available (e.g. installed package).
+    example_bad: str = ""
+    example_good: str = ""
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        """Yield one :class:`Violation` per finding (pragma filtering is
+        the runner's job)."""
+        raise NotImplementedError
+
+    def _violation(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        provenance: Tuple[str, ...],
+    ) -> Violation:
+        return Violation(
+            path=path,
+            line=line,
+            col=col,
+            rule_id=self.id,
+            rule_name=self.name,
+            message=message,
+            provenance=tuple(sorted(set(provenance))),
+        )
+
+
+#: The project-rule registry, keyed by rule id.
+PROJECT_RULES: Dict[str, ProjectRule] = {}
+
+
+def register_project_rule(cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    rule = cls()
+    if not rule.id or not rule.name:
+        raise ValueError(f"rule {cls.__name__} must define id and name")
+    if rule.id in PROJECT_RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    if any(existing.name == rule.name for existing in PROJECT_RULES.values()):
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    PROJECT_RULES[rule.id] = rule
+    return cls
+
+
+# ----------------------------------------------------------------------
+# SIM101: unit-dimension dataflow
+# ----------------------------------------------------------------------
+@register_project_rule
+class UnitDimensionRule(ProjectRule):
+    id = "SIM101"
+    name = "unit-dimension"
+    description = (
+        "time/data dimensions must not mix: *_ns parameters take integer "
+        "nanoseconds (built via repro.sim.units us/ms/s or `n * US`), "
+        "*_bytes take bytes, and bytes never add to nanoseconds"
+    )
+    rationale = (
+        "The library keeps simulated time in integer nanoseconds and data "
+        "in bytes (sim/units.py); a microsecond-scaled value slipping into "
+        "an *_ns parameter silently stretches every deadline 1000x and no "
+        "test that only checks relative ordering will notice.  The checker "
+        "follows the *_ns/*_us/*_bytes naming conventions through "
+        "assignments and across module boundaries via the call graph."
+    )
+    example_bad = (
+        "# helper.py\n"
+        "def schedule(delay_ns):\n"
+        "    ...\n"
+        "# caller.py\n"
+        "from helper import schedule\n"
+        "timeout_us = 20\n"
+        "schedule(timeout_us)          # us handed to an *_ns parameter\n"
+        "total = size_bytes + now_ns   # bytes + ns arithmetic\n"
+    )
+    example_good = (
+        "from repro.sim.units import US, us\n"
+        "from helper import schedule\n"
+        "schedule(us(20))              # sanctioned constructor -> ns\n"
+        "schedule(20 * US)             # sanctioned conversion -> ns\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        for summary in model.summaries():
+            for fact in summary.functions.values():
+                for line, col, detail in fact.mixes:
+                    yield self._violation(
+                        summary.path,
+                        line,
+                        col,
+                        f"unit-dimension mismatch: {detail}",
+                        (summary.path,),
+                    )
+                for call in fact.calls:
+                    target = model.function_fact(call.resolved)
+                    if target is None:
+                        continue
+                    target_summary, target_fact = target
+                    params = list(target_fact.params)
+                    if target_fact.is_method and params:
+                        params = params[1:]
+                    pairs = list(zip(params, call.arg_dims))
+                    pairs += [
+                        (name, dim)
+                        for name, dim in call.kw_dims.items()
+                        if name in params
+                    ]
+                    for param, arg_dim in pairs:
+                        param_dim = classify_name(param)
+                        if dims_compatible(param_dim, arg_dim):
+                            continue
+                        callee = f"{target_summary.module}.{target_fact.qualname}"
+                        yield self._violation(
+                            summary.path,
+                            call.line,
+                            call.col,
+                            f"`{arg_dim}`-dimensioned argument passed to "
+                            f"parameter `{param}` (`{param_dim}`) of "
+                            f"`{callee}`",
+                            (summary.path, target_summary.path),
+                        )
+
+
+# ----------------------------------------------------------------------
+# SIM102: nondeterministic iteration reaching the engine/queues/stats
+# ----------------------------------------------------------------------
+@register_project_rule
+class NondeterministicIterationRule(ProjectRule):
+    id = "SIM102"
+    name = "nondeterministic-iteration"
+    description = (
+        "iterating an unordered set in code that can reach the event "
+        "engine, a queue, or a stats emitter makes event order depend on "
+        "hash seeds; iterate sorted(...) instead"
+    )
+    rationale = (
+        "Python set iteration order depends on insertion history and hash "
+        "randomization.  If that order decides which event is scheduled "
+        "first, two runs with the same seed can diverge -- the exact "
+        "failure class deterministic DES frameworks exist to prevent.  "
+        "The rule combines the call graph (does this function reach "
+        "sim/engine, core/queues or stats?) with known scheduling method "
+        "names (.at/.after/.schedule/.record/.observe)."
+    )
+    example_bad = (
+        "def flush(self, hosts):\n"
+        "    for host in set(hosts):          # unordered\n"
+        "        self.engine.after(1, host.poll)\n"
+    )
+    example_good = (
+        "def flush(self, hosts):\n"
+        "    for host in sorted(set(hosts), key=lambda h: h.name):\n"
+        "        self.engine.after(1, host.poll)\n"
+    )
+
+    #: Modules whose functions are event-order / stats sinks.
+    SINK_PATH_PATTERNS = ("sim/engine", "core/queues/", "stats/")
+    #: Unresolvable attribute calls that read as sink contact.
+    SINK_ATTRS = frozenset({"at", "after", "schedule", "record", "observe", "emit"})
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        base = graph.nodes_in_modules(self.SINK_PATH_PATTERNS)
+        base |= graph.nodes_calling_attrs(self.SINK_ATTRS)
+        reaching = graph.nodes_reaching(base)
+        for node, witness in sorted(reaching.items()):
+            summary = graph.summary_of(node)
+            if summary is None:
+                continue
+            fact = summary.functions.get(node[1])
+            if fact is None:
+                continue
+            witness_summary = graph.summary_of(witness)
+            witness_path = witness_summary.path if witness_summary else node[0]
+            for line, col, detail in fact.set_iters:
+                yield self._violation(
+                    summary.path,
+                    line,
+                    col,
+                    f"{detail} in `{node[1]}`, whose results can reach "
+                    f"the engine/queues/stats via `{witness[0]}.{witness[1]}`; "
+                    "iterate a sorted(...) copy",
+                    (summary.path, witness_path),
+                )
+
+
+# ----------------------------------------------------------------------
+# SIM103: dead public exports
+# ----------------------------------------------------------------------
+@register_project_rule
+class DeadExportRule(ProjectRule):
+    id = "SIM103"
+    name = "dead-export"
+    description = (
+        "__all__ entries that no other module imports or references are "
+        "dead API surface; remove them or mark the deliberate ones"
+    )
+    rationale = (
+        "Every name in __all__ is a promise to keep.  A symbol exported "
+        "but imported nowhere in the project is either dead code or an "
+        "undocumented extension point -- both silently rot.  Package "
+        "__init__/__main__/cli modules are exempt (they *are* the public "
+        "surface); everything else must have an in-tree consumer, a "
+        "re-export, or an explicit pragma."
+    )
+    example_bad = (
+        "# util.py\n"
+        "__all__ = ['used', 'never_imported']\n"
+        "def used(): ...\n"
+        "def never_imported(): ...\n"
+        "# main.py\n"
+        "from util import used\n"
+    )
+    example_good = (
+        "# util.py\n"
+        "__all__ = ['used']\n"
+        "def used(): ...\n"
+        "def never_imported(): ...   # private: not exported\n"
+    )
+
+    #: Module stems that define the public surface itself.
+    EXEMPT_STEMS = frozenset({"__init__", "__main__", "cli", "conftest"})
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        used = set()
+        star_imported = set()
+        for summary in model.summaries():
+            used.update(summary.bindings.values())
+            used.update(summary.uses)
+            star_imported.update(summary.star_imports)
+        for summary in model.summaries():
+            stem = summary.path.rsplit("/", 1)[-1].removesuffix(".py")
+            if stem in self.EXEMPT_STEMS:
+                continue
+            if summary.module in star_imported:
+                continue
+            for name, line, col in summary.exports:
+                if f"{summary.module}.{name}" in used:
+                    continue
+                yield self._violation(
+                    summary.path,
+                    line,
+                    col,
+                    f"`{name}` is exported from `{summary.module}` but "
+                    "imported nowhere in the project",
+                    (summary.path,),
+                )
+
+
+# ----------------------------------------------------------------------
+# SIM104: hot-path purity
+# ----------------------------------------------------------------------
+@register_project_rule
+class HotPathPurityRule(ProjectRule):
+    id = "SIM104"
+    name = "hot-path-purity"
+    description = (
+        "functions reachable from the engine -> switch -> queue hot path "
+        "must not perform I/O or build log strings unconditionally"
+    )
+    rationale = (
+        "The event loop executes millions of times per simulated "
+        "millisecond; one print(), open() or eagerly-formatted logger "
+        "call on that path dominates the profile and (worse) interleaves "
+        "host I/O with simulated time.  Error paths are exempt: building "
+        "a message inside `raise` costs nothing until the invariant "
+        "breaks."
+    )
+    example_bad = (
+        "# core/queues/noisy.py\n"
+        "class Queue:\n"
+        "    def push(self, pkt):\n"
+        "        print(f'push {pkt}')    # I/O on the hot path\n"
+    )
+    example_good = (
+        "# core/queues/quiet.py\n"
+        "class Queue:\n"
+        "    def push(self, pkt):\n"
+        "        if pkt.size_bytes < 0:\n"
+        "            raise ValueError(f'bad size {pkt}')  # error path: fine\n"
+    )
+
+    #: The hot path named by the paper's forwarding pipeline.
+    HOT_PATH_PATTERNS = ("sim/engine.py", "network/switch.py", "core/queues/")
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        roots = graph.nodes_in_modules(self.HOT_PATH_PATTERNS)
+        witness = graph.reachable_from(roots)
+        for node, root in sorted(witness.items()):
+            summary = graph.summary_of(node)
+            if summary is None:
+                continue
+            fact = summary.functions.get(node[1])
+            if fact is None:
+                continue
+            root_summary = graph.summary_of(root)
+            root_path = root_summary.path if root_summary else node[0]
+            for line, col, detail in fact.io_calls:
+                yield self._violation(
+                    summary.path,
+                    line,
+                    col,
+                    f"hot-path impurity in `{node[1]}`: {detail} "
+                    f"(reachable from `{root[0]}.{root[1]}`)",
+                    (summary.path, root_path),
+                )

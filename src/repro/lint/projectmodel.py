@@ -1,0 +1,362 @@
+"""The whole-program layer under the SIM1xx rules.
+
+Per-file linting (SIM001-SIM006) sees one module at a time; the silent
+failures that threaten the reproduction -- a microsecond quantity handed
+to a nanosecond parameter two modules away, a set iteration whose order
+leaks into the event heap -- only show up when every module of ``src/``
+is parsed into one **project model**:
+
+- a *symbol table* per module (top-level defs, classes, constants,
+  ``__all__`` exports with their source locations);
+- an *import graph* (local name -> absolute dotted origin, resolved
+  through ``import``/``from``/relative forms);
+- per-function *facts* extracted by :mod:`repro.lint.dataflow` (call
+  sites with inferred argument dimensions, set iterations, I/O calls,
+  additive-mixing findings).
+
+Each file is summarised exactly once; the summary is JSON-serialisable
+and cached by content hash (:mod:`repro.lint.cache`), so a warm
+``repro-qos lint --project`` run re-parses **zero** files and the
+project rules replay from the summaries alone.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.lint.dataflow import FunctionAnalyzer, FunctionFact, dotted_name
+from repro.lint.pragmas import allowed_by_line, parse_pragmas
+
+__all__ = ["ModuleSummary", "ProjectModel", "extract_summary"]
+
+PathLike = Union[str, Path]
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, anchored at the outermost enclosing package.
+
+    Walks up from the file while ``__init__.py`` exists, so
+    ``src/repro/sim/units.py`` maps to ``repro.sim.units`` regardless of
+    where the scan was rooted, and a loose fixture file maps to its
+    stem.
+    """
+    parts: List[str] = [] if path.stem == "__init__" else [path.stem]
+    directory = path.resolve().parent
+    while (directory / "__init__.py").is_file() and directory.name:
+        parts.insert(0, directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(parts) if parts else path.stem
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the project rules need to know about one file."""
+
+    path: str  # posix-style, as handed to the walker (stable in output)
+    module: str  # dotted module name
+    is_package: bool = False
+    #: ``__all__`` entries: (name, line, col) of each string constant.
+    exports: List[Tuple[str, int, int]] = field(default_factory=list)
+    #: Top-level name -> "function" | "class" | "other".
+    symbols: Dict[str, str] = field(default_factory=dict)
+    #: Local name -> absolute dotted origin, from the import statements.
+    bindings: Dict[str, str] = field(default_factory=dict)
+    #: Modules star-imported (all their exports count as used).
+    star_imports: List[str] = field(default_factory=list)
+    #: Absolute dotted names referenced via attribute access.
+    uses: List[str] = field(default_factory=list)
+    #: Per-function facts, keyed by qualname ("<module>" for top level).
+    functions: Dict[str, FunctionFact] = field(default_factory=dict)
+    #: line -> rule names allowed by a suppression pragma comment.
+    pragmas: Dict[int, List[str]] = field(default_factory=dict)
+    #: Cached per-file (SIM0xx) findings, already pragma-filtered.
+    file_violations: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "is_package": self.is_package,
+            "exports": [list(item) for item in self.exports],
+            "symbols": self.symbols,
+            "bindings": self.bindings,
+            "star_imports": self.star_imports,
+            "uses": self.uses,
+            "functions": {
+                name: fact.to_dict() for name, fact in self.functions.items()
+            },
+            "pragmas": {str(line): names for line, names in self.pragmas.items()},
+            "file_violations": self.file_violations,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ModuleSummary":
+        return cls(
+            path=payload["path"],
+            module=payload["module"],
+            is_package=payload["is_package"],
+            exports=[(e[0], e[1], e[2]) for e in payload["exports"]],
+            symbols=dict(payload["symbols"]),
+            bindings=dict(payload["bindings"]),
+            star_imports=list(payload["star_imports"]),
+            uses=list(payload["uses"]),
+            functions={
+                name: FunctionFact.from_dict(fact)
+                for name, fact in payload["functions"].items()
+            },
+            pragmas={
+                int(line): list(names) for line, names in payload["pragmas"].items()
+            },
+            file_violations=list(payload["file_violations"]),
+        )
+
+    def allowed_on_line(self, line: int) -> frozenset:
+        return frozenset(self.pragmas.get(line, ()))
+
+
+def _resolve_relative(module_name: str, is_package: bool, level: int) -> str:
+    """Base package for a level-``level`` relative import."""
+    parts = module_name.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    drop = level - 1
+    if drop:
+        parts = parts[:-drop] if drop < len(parts) else []
+    return ".".join(parts)
+
+
+def _collect_imports(
+    tree: ast.Module, module_name: str, is_package: bool
+) -> Tuple[Dict[str, str], List[str]]:
+    bindings: Dict[str, str] = {}
+    star_imports: List[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    bindings[alias.asname] = alias.name
+                else:
+                    # `import a.b.c` binds the name `a`.
+                    head = alias.name.split(".", 1)[0]
+                    bindings.setdefault(head, head)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                package = _resolve_relative(module_name, is_package, node.level)
+                base = f"{package}.{node.module}" if node.module else package
+            if not base:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    star_imports.append(base)
+                else:
+                    local = alias.asname or alias.name
+                    bindings[local] = f"{base}.{alias.name}"
+    return bindings, star_imports
+
+
+def _collect_symbols(tree: ast.Module) -> Dict[str, str]:
+    symbols: Dict[str, str] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            symbols[stmt.name] = "function"
+        elif isinstance(stmt, ast.ClassDef):
+            symbols[stmt.name] = "class"
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    symbols.setdefault(target.id, "other")
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                symbols.setdefault(stmt.target.id, "other")
+    return symbols
+
+
+def _collect_exports(tree: ast.Module) -> List[Tuple[str, int, int]]:
+    exports: List[Tuple[str, int, int]] = []
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in stmt.targets
+        ):
+            continue
+        if isinstance(stmt.value, (ast.List, ast.Tuple)):
+            for element in stmt.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    exports.append(
+                        (element.value, element.lineno, element.col_offset)
+                    )
+    return exports
+
+
+def _collect_uses(
+    tree: ast.Module, bindings: Mapping[str, str], module_name: str
+) -> List[str]:
+    """Absolute dotted names referenced via attribute chains."""
+    uses = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        dotted = dotted_name(node)
+        if not dotted:
+            continue
+        head, _, rest = dotted.partition(".")
+        origin = bindings.get(head)
+        if origin is not None and rest:
+            uses.add(f"{origin}.{rest}")
+    return sorted(uses)
+
+
+def _function_params(node: ast.FunctionDef) -> List[str]:
+    return [
+        arg.arg
+        for arg in [
+            *node.args.posonlyargs,
+            *node.args.args,
+            *node.args.kwonlyargs,
+        ]
+    ]
+
+
+def extract_summary(source: str, path: str, *, tree: Optional[ast.Module] = None) -> ModuleSummary:
+    """One parse of ``source`` into a :class:`ModuleSummary`.
+
+    This is the only place in the project pass that looks at an AST;
+    everything downstream (graphs, rules) works from the summary, which
+    is what makes the content-hash cache sound.
+    """
+    posix_path = str(path).replace("\\", "/")
+    if tree is None:
+        tree = ast.parse(source, filename=posix_path)
+    file_path = Path(path)
+    module_name = module_name_for(file_path)
+    is_package = file_path.stem == "__init__"
+
+    bindings, star_imports = _collect_imports(tree, module_name, is_package)
+    symbols = _collect_symbols(tree)
+    summary = ModuleSummary(
+        path=posix_path,
+        module=module_name,
+        is_package=is_package,
+        exports=_collect_exports(tree),
+        symbols=symbols,
+        bindings=bindings,
+        star_imports=star_imports,
+        uses=_collect_uses(tree, bindings, module_name),
+        pragmas={
+            line: sorted(names)
+            for line, names in allowed_by_line(parse_pragmas(source)).items()
+        },
+    )
+
+    def analyze(
+        qualname: str,
+        body: List[ast.stmt],
+        *,
+        line: int,
+        params: Optional[List[str]] = None,
+        is_method: bool = False,
+        class_name: Optional[str] = None,
+    ) -> None:
+        fact = FunctionFact(
+            qualname=qualname,
+            line=line,
+            params=params or [],
+            is_method=is_method,
+        )
+        analyzer = FunctionAnalyzer(
+            bindings, module_name, symbols, class_name=class_name
+        )
+        summary.functions[qualname] = analyzer.run(fact, body)
+
+    # Module level: everything except def/class bodies (class field
+    # defaults are analyzed by the analyzer's ClassDef handling).
+    top_level = [
+        stmt
+        for stmt in tree.body
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    analyze("<module>", top_level, line=1)
+
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            analyze(
+                stmt.name,
+                stmt.body,
+                line=stmt.lineno,
+                params=_function_params(stmt),
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    analyze(
+                        f"{stmt.name}.{item.name}",
+                        item.body,
+                        line=item.lineno,
+                        params=_function_params(item),
+                        is_method=True,
+                        class_name=stmt.name,
+                    )
+    return summary
+
+
+class ProjectModel:
+    """All module summaries plus cross-module resolution helpers."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleSummary] = {}
+        self.by_path: Dict[str, ModuleSummary] = {}
+
+    def add(self, summary: ModuleSummary) -> None:
+        self.modules[summary.module] = summary
+        self.by_path[summary.path] = summary
+
+    def summaries(self) -> List[ModuleSummary]:
+        """All summaries, ordered by path for deterministic iteration."""
+        return [self.by_path[path] for path in sorted(self.by_path)]
+
+    def resolve_symbol(
+        self, origin: str
+    ) -> Optional[Tuple[ModuleSummary, str]]:
+        """Split an absolute dotted origin into (defining module,
+        symbol path), using the longest module-name prefix in the
+        model.  ``repro.sim.units.us`` -> (units summary, "us")."""
+        parts = origin.split(".")
+        for cut in range(len(parts), 0, -1):
+            module_name = ".".join(parts[:cut])
+            summary = self.modules.get(module_name)
+            if summary is not None:
+                symbol = ".".join(parts[cut:])
+                return summary, symbol
+        return None
+
+    def function_fact(
+        self, origin: Optional[str]
+    ) -> Optional[Tuple[ModuleSummary, FunctionFact]]:
+        """The function (or class constructor) an origin refers to."""
+        if origin is None:
+            return None
+        resolved = self.resolve_symbol(origin)
+        if resolved is None:
+            return None
+        summary, symbol = resolved
+        if not symbol:
+            return None
+        fact = summary.functions.get(symbol)
+        if fact is not None:
+            return summary, fact
+        if summary.symbols.get(symbol) == "class":
+            init = summary.functions.get(f"{symbol}.__init__")
+            if init is not None:
+                return summary, init
+        return None

@@ -32,9 +32,16 @@ class Rule:
     #: Stable identifier, ``SIM`` + three digits.
     id: str = ""
     #: Pragma name: a ``simlint: allow-<name>`` comment suppresses this rule.
+    #: (The lowercase id, e.g. ``allow-sim004``, always works as an alias.)
     name: str = ""
     #: One-line human description (shown by ``repro-qos lint --list-rules``).
     description: str = ""
+    #: Longer why-this-matters text (``repro-qos lint --explain <RULE>``).
+    rationale: str = ""
+    #: Minimal embedded bad/good examples for ``--explain``, used when
+    #: the fixture tree is not on disk (e.g. an installed package).
+    example_bad: str = ""
+    example_good: str = ""
 
     def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
         """Yield ``(node, message)`` for each violation in ``tree``.
@@ -89,6 +96,17 @@ class GlobalRandomRule(Rule):
         "stdlib `random` must not be imported in library code; use the "
         "seeded streams of repro.sim.rng so runs stay reproducible"
     )
+    rationale = (
+        "The process-global stdlib RNG is shared mutable state: any import "
+        "that draws from it perturbs every later draw, so adding a module "
+        "changes unrelated results.  repro.sim.rng derives independent "
+        "named streams from the run seed instead."
+    )
+    example_bad = "import random\njitter = random.random()\n"
+    example_good = (
+        "from repro.sim.rng import local_stream\n"
+        "rng = local_stream('jitter', seed)\njitter = rng.random()\n"
+    )
 
     def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
         for node in ast.walk(tree):
@@ -121,6 +139,13 @@ class WallClockRule(Rule):
         "wall-clock reads (time.time & friends) are forbidden in simulation "
         "code; simulated time is engine.now (integer nanoseconds)"
     )
+    rationale = (
+        "Reading the host clock couples simulation results to machine "
+        "speed and load; simulated time is engine.now, an integer "
+        "nanosecond counter advanced only by the event loop."
+    )
+    example_bad = "import time\nstart = time.time()\n"
+    example_good = "start_ns = engine.now\n"
 
     #: Module-level functions whose *call* reads the host clock.
     WALLCLOCK_CALLS = frozenset(
@@ -197,6 +222,14 @@ class FloatDeadlineEqRule(Rule):
         "float ==/!= on deadlines or timestamps is fragile; keep time in "
         "integer nanoseconds (sim/units) or compare with a tolerance"
     )
+    rationale = (
+        "Two floats that 'should' be equal rarely are after independent "
+        "arithmetic; a deadline comparison that ties on one platform and "
+        "misses by 1 ULP on another reorders packets.  Integer "
+        "nanoseconds make equality exact."
+    )
+    example_bad = "due = deadline == size / bw\n"
+    example_good = "due = deadline_ns == serialization_ns(size_bytes, rate)\n"
 
     #: Terminal identifiers treated as time-valued.
     TIME_SUFFIXES = ("_ns", "_time", "_deadline")
@@ -259,6 +292,17 @@ class BareAssertRule(Rule):
         "bare `assert` disappears under python -O; runtime invariants must "
         "use repro.core.invariants.invariant()"
     )
+    rationale = (
+        "python -O strips assert statements from the bytecode, so a "
+        "Lemma 1 invariant guarded by assert simply vanishes in optimized "
+        "runs.  invariant() is a real call that survives -O and raises a "
+        "typed InvariantViolation."
+    )
+    example_bad = "assert credits >= 0, 'negative credits'\n"
+    example_good = (
+        "from repro.core.invariants import invariant\n"
+        "invariant(credits >= 0, 'negative credits: %d', credits)\n"
+    )
 
     def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
         for node in ast.walk(tree):
@@ -279,6 +323,13 @@ class MutableDefaultRule(Rule):
     id = "SIM005"
     name = "mutable-default"
     description = "mutable default arguments are shared across calls"
+    rationale = (
+        "A mutable default is evaluated once at def time and shared by "
+        "every call; state leaks between calls (and between simulation "
+        "runs in one process)."
+    )
+    example_bad = "def run(events=[]):\n    events.append(1)\n"
+    example_good = "def run(events=None):\n    events = [] if events is None else events\n"
 
     MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "collections.deque", "deque"})
     MUTABLE_NODES = (
@@ -326,6 +377,13 @@ class SlotsRule(Rule):
         "hot-path queue/packet classes must declare __slots__ (per-packet "
         "dict allocation dominates otherwise)"
     )
+    rationale = (
+        "Per-packet attribute dicts dominated the allocation profile; "
+        "__slots__ on queue/packet classes removes the dict and makes "
+        "attribute access a fixed-offset load."
+    )
+    example_bad = "class Packet:\n    def __init__(self):\n        self.size_bytes = 0\n"
+    example_good = "class Packet:\n    __slots__ = ('size_bytes',)\n"
 
     #: Path fragments (posix style) whose classes are considered hot-path.
     HOT_PATH_PATTERNS = ("core/queues/", "network/packet.py")

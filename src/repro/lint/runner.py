@@ -4,13 +4,19 @@ from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.lint.pragmas import allowed_by_line, parse_pragmas
 from repro.lint.rules import RULES, Rule
 from repro.lint.violations import Violation
 
-__all__ = ["iter_python_files", "lint_file", "lint_paths", "lint_source"]
+__all__ = [
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_project",
+    "lint_source",
+]
 
 PathLike = Union[str, Path]
 
@@ -33,6 +39,19 @@ def _select_rules(select: Optional[Iterable[str]]) -> List[Rule]:
             raise KeyError(f"unknown rule {rule_id!r} (known: {known})")
         rules.append(rule)
     return rules
+
+
+def _known_pragma_names() -> "frozenset[str]":
+    """Every spelling a ``simlint: allow-<...>`` pragma may use: rule
+    names plus lowercase rule ids, for both per-file and project rules."""
+    from repro.lint.project_rules import PROJECT_RULES
+
+    names = set()
+    for registry in (RULES, PROJECT_RULES):
+        for rule_id, rule in registry.items():
+            names.add(rule.name)
+            names.add(rule_id.lower())
+    return frozenset(names)
 
 
 def lint_source(
@@ -60,7 +79,7 @@ def lint_source(
 
     pragmas = parse_pragmas(source)
     allowed = allowed_by_line(pragmas)
-    rule_names = {rule.name for rule in RULES.values()}
+    rule_names = _known_pragma_names()
 
     violations: List[Violation] = []
     # A pragma naming an unknown rule would silently fail to suppress
@@ -88,7 +107,8 @@ def lint_source(
             continue
         for node, message in rule.check(tree, posix_path):
             line = getattr(node, "lineno", 1)
-            if rule.name in allowed.get(line, ()):
+            allowed_here = allowed.get(line, ())
+            if rule.name in allowed_here or rule.id.lower() in allowed_here:
                 continue
             violations.append(
                 Violation(
@@ -110,14 +130,32 @@ def lint_file(path: PathLike, *, select: Optional[Iterable[str]] = None) -> List
     return lint_source(source, str(file_path), select=select)
 
 
+def _is_skipped(candidate: Path, root: Path) -> bool:
+    """Whether ``candidate`` lies under a skipped or hidden directory.
+
+    Only the path *below* ``root`` is inspected, so linting a tree that
+    itself lives under a hidden directory (``~/.local/checkout/src``)
+    still works.
+    """
+    relative_parts = candidate.relative_to(root).parts[:-1]
+    return any(
+        part in SKIP_DIRS or part.startswith(".") for part in relative_parts
+    )
+
+
 def iter_python_files(paths: Sequence[PathLike]) -> Iterator[Path]:
-    """Expand files/directories into the .py files to lint, sorted so
-    output order is stable across filesystems."""
+    """Expand files/directories into the .py files to lint.
+
+    Files under ``__pycache__``, VCS/tool state, or any hidden directory
+    are skipped, and each directory's files are yielded in sorted order,
+    so lint output and exit codes are deterministic across platforms and
+    filesystems.
+    """
     for entry in paths:
         entry_path = Path(entry)
         if entry_path.is_dir():
             for candidate in sorted(entry_path.rglob("*.py")):
-                if not SKIP_DIRS.intersection(candidate.parts):
+                if not _is_skipped(candidate, entry_path):
                     yield candidate
         elif entry_path.suffix == ".py" or entry_path.is_file():
             yield entry_path
@@ -135,3 +173,94 @@ def lint_paths(
     for file_path in iter_python_files(paths):
         violations.extend(lint_file(file_path, select=select))
     return sorted(violations)
+
+
+def _validate_select(select: Optional[Iterable[str]]) -> Optional[List[str]]:
+    from repro.lint.project_rules import PROJECT_RULES
+
+    if select is None:
+        return None
+    selected = list(select)
+    known = set(RULES) | set(PROJECT_RULES)
+    for rule_id in selected:
+        if rule_id not in known:
+            raise KeyError(
+                f"unknown rule {rule_id!r} (known: {', '.join(sorted(known))})"
+            )
+    return selected
+
+
+def lint_project(
+    paths: Sequence[PathLike],
+    *,
+    cache_dir: Optional[PathLike] = None,
+    select: Optional[Iterable[str]] = None,
+) -> Tuple[List[Violation], Dict[str, int]]:
+    """Whole-program lint: per-file SIM0xx rules *plus* the
+    interprocedural SIM1xx rules over the project model.
+
+    Returns ``(violations, stats)`` where ``stats`` reports how the
+    incremental cache behaved: ``files`` scanned, cache ``hits``, cache
+    ``misses`` (== files parsed this run).  With ``cache_dir`` set, a
+    warm run over an unchanged tree re-parses zero files.
+    """
+    from repro.lint.cache import SummaryCache, hash_source
+    from repro.lint.callgraph import CallGraph
+    from repro.lint.project_rules import PROJECT_RULES
+    from repro.lint.projectmodel import ModuleSummary, ProjectModel, extract_summary
+
+    selected = _validate_select(select)
+    cache = SummaryCache(cache_dir)
+    model = ProjectModel()
+    live_keys = set()
+    files = 0
+    for file_path in iter_python_files(paths):
+        files += 1
+        source = file_path.read_text(encoding="utf-8")
+        posix_path = str(file_path).replace("\\", "/")
+        key = hash_source(posix_path + "\x00" + source)
+        live_keys.add(key)
+        cached = cache.get(key)
+        if cached is not None:
+            summary = ModuleSummary.from_dict(cached)
+        else:
+            file_violations = lint_source(source, posix_path)
+            try:
+                summary = extract_summary(source, posix_path)
+            except SyntaxError:
+                # lint_source already reported SIM000 parse-error; the
+                # project rules see an empty module.
+                summary = ModuleSummary(
+                    path=posix_path, module=Path(posix_path).stem
+                )
+            summary.file_violations = [v.to_dict() for v in file_violations]
+            cache.put(key, summary.to_dict())
+        model.add(summary)
+    cache.prune(live_keys)
+    cache.save()
+
+    violations: List[Violation] = []
+    for summary in model.summaries():
+        for payload in summary.file_violations:
+            violation = Violation.from_dict(payload)
+            if selected is None or violation.rule_id in selected:
+                violations.append(violation)
+
+    graph = CallGraph(model)
+    for rule_id in sorted(PROJECT_RULES):
+        if selected is not None and rule_id not in selected:
+            continue
+        rule = PROJECT_RULES[rule_id]
+        for violation in rule.check(model, graph):
+            origin = model.by_path.get(violation.path)
+            if origin is not None:
+                allowed_here = origin.allowed_on_line(violation.line)
+                if (
+                    rule.name in allowed_here
+                    or rule.id.lower() in allowed_here
+                ):
+                    continue
+            violations.append(violation)
+
+    stats = {"files": files, "hits": cache.hits, "misses": cache.misses}
+    return sorted(violations), stats

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple, Union
 
 __all__ = ["Violation"]
 
@@ -11,7 +11,13 @@ __all__ = ["Violation"]
 @dataclass(frozen=True, order=True)
 class Violation:
     """One rule violation.  Field order gives the natural sort:
-    by file, then line, then column, then rule."""
+    by file, then line, then column, then rule.
+
+    ``provenance`` lists the files that contributed to the finding; it
+    is empty for single-file rules and names every involved module for
+    cross-module (SIM1xx) findings, e.g. the caller and the callee of a
+    unit-dimension mismatch.
+    """
 
     path: str
     line: int
@@ -19,16 +25,20 @@ class Violation:
     rule_id: str  # e.g. "SIM001"
     rule_name: str  # e.g. "global-random" (also the pragma name)
     message: str
+    provenance: Tuple[str, ...] = field(default=())
 
     def format(self) -> str:
         """``path:line:col: SIM001 [global-random] message`` -- the text
         output format, clickable in editors and CI logs."""
-        return (
+        text = (
             f"{self.path}:{self.line}:{self.col}: "
             f"{self.rule_id} [{self.rule_name}] {self.message}"
         )
+        if self.provenance:
+            text += f"  (via {', '.join(self.provenance)})"
+        return text
 
-    def to_dict(self) -> Dict[str, Union[str, int]]:
+    def to_dict(self) -> Dict[str, Union[str, int, Tuple[str, ...]]]:
         """JSON-ready form for ``repro-qos lint --format json``."""
         return {
             "path": self.path,
@@ -37,4 +47,18 @@ class Violation:
             "rule": self.rule_id,
             "name": self.rule_name,
             "message": self.message,
+            "provenance": list(self.provenance),  # type: ignore[dict-item]
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Violation":
+        """Inverse of :meth:`to_dict` (used to replay cached findings)."""
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            rule_id=str(payload["rule"]),
+            rule_name=str(payload["name"]),
+            message=str(payload["message"]),
+            provenance=tuple(payload.get("provenance", ())),
+        )

@@ -20,7 +20,7 @@ Models the hardware the paper simulates (Section 4.1):
 """
 
 from repro.network.packet import Packet, VC_BEST_EFFORT, VC_REGULATED
-from repro.network.link import Link, CreditChannel
+from repro.network.link import CreditChannel, CreditError, Link
 from repro.network.topology import (
     FatTreeSpec,
     Topology,
@@ -28,18 +28,20 @@ from repro.network.topology import (
     build_folded_shuffle_min,
     paper_topology,
 )
-from repro.network.routing import RoutingTable, compute_updown_paths
+from repro.network.routing import RoutePath, RoutingTable, compute_updown_paths
 from repro.network.switch import Switch
 from repro.network.host import Host
 from repro.network.fabric import Fabric, build_fabric
 
 __all__ = [
     "CreditChannel",
+    "CreditError",
     "Fabric",
     "FatTreeSpec",
     "Host",
     "Link",
     "Packet",
+    "RoutePath",
     "RoutingTable",
     "Switch",
     "Topology",

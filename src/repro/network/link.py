@@ -30,7 +30,7 @@ from repro.network.packet import Packet
 from repro.sim.engine import Engine
 from repro.sim.units import serialization_ns
 
-__all__ = ["CreditChannel", "CreditError", "Link", "Receiver", "Sender"]
+__all__ = ["CreditChannel", "CreditError", "Link"]
 
 
 class CreditError(RuntimeError):

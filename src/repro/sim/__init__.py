@@ -18,9 +18,9 @@ Public surface:
 """
 
 from repro.sim.engine import Engine, EventHandle, SimulationError
-from repro.sim.monitor import NullTrace, Trace
+from repro.sim.monitor import NullTrace, Trace, TraceRecord
 from repro.sim.process import Delay, Process, Signal, process
-from repro.sim.rng import RandomStreams
+from repro.sim.rng import RandomStreams, derive_seed
 from repro.sim import units
 
 __all__ = [
@@ -33,6 +33,8 @@ __all__ = [
     "Signal",
     "SimulationError",
     "Trace",
+    "TraceRecord",
+    "derive_seed",
     "process",
     "units",
 ]

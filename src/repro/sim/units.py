@@ -32,6 +32,42 @@ KB = 1_024
 MB = 1_048_576
 
 
+def us(n: float) -> int:
+    """``n`` microseconds as integer nanoseconds.
+
+    The sanctioned way to build a time quantity from a µs-scale number
+    (simlint SIM101 treats these constructors as producing ns).
+
+    >>> us(20)
+    20000
+    >>> us(0.5)
+    500
+    """
+    return round(n * US)
+
+
+def ms(n: float) -> int:
+    """``n`` milliseconds as integer nanoseconds.
+
+    >>> ms(10)
+    10000000
+    >>> ms(0.001) == us(1)
+    True
+    """
+    return round(n * MS)
+
+
+def s(n: float) -> int:
+    """``n`` seconds as integer nanoseconds.
+
+    >>> s(1)
+    1000000000
+    >>> s(2.5) == ms(2500)
+    True
+    """
+    return round(n * S)
+
+
 def gbps(gigabits_per_second: float) -> float:
     """Convert a link rate in gigabits per second to bytes per nanosecond.
 

@@ -22,7 +22,7 @@ cumulative distribution function of latency at saturation.
 from repro.stats.cdf import EmpiricalCDF
 from repro.stats.collectors import ClassStats, MetricsCollector
 from repro.stats.flows import FlowStats, PerFlowCollector
-from repro.stats.report import format_table
+from repro.stats.report import format_row, format_table
 from repro.stats.reservoir import Reservoir
 from repro.stats.running import RunningStats
 from repro.stats.timeseries import DeliveryTimeSeries
@@ -36,5 +36,6 @@ __all__ = [
     "PerFlowCollector",
     "Reservoir",
     "RunningStats",
+    "format_row",
     "format_table",
 ]

@@ -61,7 +61,7 @@ class TrafficMixConfig:
     video_stream_rate_bytes_per_ns: float = 1.5e6 / units.S
     video_fps: float = 25.0
     #: Desired per-frame latency (Section 3.1: 10 ms).
-    video_target_latency_ns: int = 10 * units.MS
+    video_target_latency_ns: int = units.ms(10)
     video_smoothing: bool = True
     video_gop_pattern: str = "IBBPBBPBBPBB"
     #: Deadline-bandwidth weights of the two best-effort classes; their

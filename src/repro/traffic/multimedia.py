@@ -44,7 +44,7 @@ class VideoStream(TrafficSource):
         *,
         rate_bytes_per_ns: float = 1.5e6 / units.S,  # 1.5 MB/s in B/ns
         fps: float = 25.0,
-        target_latency_ns: int = 10 * units.MS,
+        target_latency_ns: int = units.ms(10),
         smoothing: bool = True,
         gop_pattern: str = "IBBPBBPBBPBB",
         size_sigma: float = 0.25,

@@ -1,0 +1,9 @@
+"""Caller module: hands a microsecond quantity to a ``*_ns`` parameter."""
+
+from timers import schedule_wakeup
+
+TIMEOUT_US = 50
+
+
+def arm():
+    return schedule_wakeup(TIMEOUT_US)

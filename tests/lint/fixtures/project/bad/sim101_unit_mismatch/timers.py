@@ -1,0 +1,6 @@
+"""Callee module: a nanosecond-typed scheduling helper."""
+
+
+def schedule_wakeup(deadline_ns):
+    """Pretend to arm a timer at an absolute nanosecond deadline."""
+    return deadline_ns

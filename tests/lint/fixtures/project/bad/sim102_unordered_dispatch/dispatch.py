@@ -1,0 +1,8 @@
+"""Feeds the engine from an unordered set: heap order becomes random."""
+
+from engine import post
+
+
+def flush(events):
+    for event in set(events):
+        post(event)

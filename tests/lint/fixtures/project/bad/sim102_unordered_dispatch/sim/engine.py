@@ -1,0 +1,6 @@
+"""Sink module: anything that feeds this reaches the event heap."""
+
+
+def post(event):
+    """Pretend to push one event onto the simulation heap."""
+    return event

@@ -1,0 +1,7 @@
+"""Imports only one of the two exported helpers."""
+
+from exported import used_helper
+
+
+def run():
+    return used_helper()

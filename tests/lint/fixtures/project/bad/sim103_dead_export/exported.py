@@ -1,0 +1,11 @@
+"""Exports two helpers; only one is ever imported."""
+
+__all__ = ["dead_helper", "used_helper"]
+
+
+def used_helper():
+    return 1
+
+
+def dead_helper():
+    return 2

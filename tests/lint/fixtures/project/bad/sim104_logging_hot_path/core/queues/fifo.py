@@ -1,0 +1,9 @@
+"""Hot-path module: dequeue calls a helper that prints."""
+
+from helpers import log_pop
+
+
+def pop(queue):
+    item = queue[0]
+    log_pop(item)
+    return item

@@ -1,0 +1,5 @@
+"""Helper that performs console I/O (reached from the hot path)."""
+
+
+def log_pop(item):
+    print("popped", item)

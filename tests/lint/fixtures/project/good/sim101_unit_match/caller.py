@@ -1,0 +1,11 @@
+"""Caller module: converts to nanoseconds before crossing the boundary."""
+
+from repro.sim.units import us
+
+from timers import schedule_wakeup
+
+TIMEOUT_NS = us(50)
+
+
+def arm():
+    return schedule_wakeup(TIMEOUT_NS)

@@ -1,0 +1,8 @@
+"""Feeds the engine in sorted order: deterministic regardless of hashing."""
+
+from engine import post
+
+
+def flush(events):
+    for event in sorted(set(events)):
+        post(event)

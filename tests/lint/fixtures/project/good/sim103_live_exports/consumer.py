@@ -1,0 +1,7 @@
+"""Imports both exported helpers."""
+
+from exported import other_helper, used_helper
+
+
+def run():
+    return used_helper() + other_helper()

@@ -1,0 +1,11 @@
+"""Every ``__all__`` entry is imported somewhere in the project."""
+
+__all__ = ["other_helper", "used_helper"]
+
+
+def used_helper():
+    return 1
+
+
+def other_helper():
+    return 2

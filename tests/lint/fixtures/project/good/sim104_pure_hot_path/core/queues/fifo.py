@@ -1,0 +1,11 @@
+"""Hot-path module: dequeue stays pure (error strings only under raise)."""
+
+from helpers import note_pop
+
+
+def pop(queue):
+    if not queue:
+        raise IndexError("pop from an empty queue")
+    item = queue[0]
+    note_pop(item)
+    return item

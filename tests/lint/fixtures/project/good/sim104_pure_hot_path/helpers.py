@@ -1,0 +1,8 @@
+"""Helper that records a counter instead of doing I/O."""
+
+POPS = [0]
+
+
+def note_pop(item):
+    POPS[0] += 1
+    return item

@@ -50,7 +50,16 @@ class TestJsonOutput:
         payload = json.loads(capsys.readouterr().out)
         assert payload["count"] == len(payload["violations"]) > 0
         first = payload["violations"][0]
-        assert set(first) == {"path", "line", "col", "rule", "name", "message"}
+        assert set(first) == {
+            "path",
+            "line",
+            "col",
+            "rule",
+            "name",
+            "message",
+            "provenance",
+        }
+        assert first["provenance"] == []  # per-file rules have no provenance
         assert first["rule"].startswith("SIM")
 
     def test_json_clean_tree(self, capsys):

@@ -1,0 +1,289 @@
+"""Tests for the project-wide (SIM1xx) analysis layer.
+
+Covers the fixture matrix (each bad fixture flags exactly its rule, each
+good fixture is clean), the content-hash cache (a warm run re-parses
+zero files), pragma suppression of cross-module findings, provenance in
+the JSON schema, the ``--project``/``--explain`` CLI surface, and the
+gate that keeps ``src/`` clean under the project rules.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import iter_python_files, lint_project
+from repro.sim import units
+
+HERE = Path(__file__).parent
+PROJECT_FIXTURES = HERE / "fixtures" / "project"
+SRC = HERE.resolve().parents[1] / "src" / "repro"
+
+FIXTURE_MATRIX = [
+    ("SIM101", "sim101_unit_mismatch", "sim101_unit_match"),
+    ("SIM102", "sim102_unordered_dispatch", "sim102_ordered_dispatch"),
+    ("SIM103", "sim103_dead_export", "sim103_live_exports"),
+    ("SIM104", "sim104_logging_hot_path", "sim104_pure_hot_path"),
+]
+
+
+class TestFixtureMatrix:
+    @pytest.mark.parametrize(
+        "rule_id,bad_dir,good_dir",
+        FIXTURE_MATRIX,
+        ids=[row[0] for row in FIXTURE_MATRIX],
+    )
+    def test_bad_fixture_flags_exactly_its_rule(self, rule_id, bad_dir, good_dir):
+        violations, _ = lint_project([PROJECT_FIXTURES / "bad" / bad_dir])
+        assert violations, f"{bad_dir} produced no findings"
+        assert {v.rule_id for v in violations} == {rule_id}
+
+    @pytest.mark.parametrize(
+        "rule_id,bad_dir,good_dir",
+        FIXTURE_MATRIX,
+        ids=[row[0] for row in FIXTURE_MATRIX],
+    )
+    def test_good_fixture_is_clean(self, rule_id, bad_dir, good_dir):
+        violations, _ = lint_project([PROJECT_FIXTURES / "good" / good_dir])
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+    def test_cross_module_finding_carries_provenance(self):
+        violations, _ = lint_project(
+            [PROJECT_FIXTURES / "bad" / "sim101_unit_mismatch"]
+        )
+        (violation,) = violations
+        assert len(violation.provenance) == 2
+        assert any("caller.py" in step for step in violation.provenance)
+        assert any("timers.py" in step for step in violation.provenance)
+        assert "(via " in violation.format()
+
+
+class TestIncrementalCache:
+    def test_warm_run_reparses_zero_files(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        target = PROJECT_FIXTURES / "bad" / "sim101_unit_mismatch"
+
+        cold_violations, cold = lint_project([target], cache_dir=cache_dir)
+        assert cold["files"] == 2
+        assert cold["misses"] == 2 and cold["hits"] == 0
+
+        warm_violations, warm = lint_project([target], cache_dir=cache_dir)
+        assert warm["files"] == 2
+        assert warm["misses"] == 0, "warm run re-parsed a file"
+        assert warm["hits"] == warm["files"]
+        assert [v.to_dict() for v in warm_violations] == [
+            v.to_dict() for v in cold_violations
+        ]
+
+    def test_edit_invalidates_only_the_changed_file(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        project = tmp_path / "proj"
+        project.mkdir()
+        (project / "a.py").write_text("A = 1\n", encoding="utf-8")
+        (project / "b.py").write_text("B = 2\n", encoding="utf-8")
+
+        lint_project([project], cache_dir=cache_dir)
+        (project / "b.py").write_text("B = 3\n", encoding="utf-8")
+        _, stats = lint_project([project], cache_dir=cache_dir)
+        assert stats == {"files": 2, "hits": 1, "misses": 1}
+
+    def test_corrupt_cache_degrades_to_cold(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "projectmodel.json").write_text("{not json", encoding="utf-8")
+        violations, stats = lint_project(
+            [PROJECT_FIXTURES / "bad" / "sim103_dead_export"], cache_dir=cache_dir
+        )
+        assert stats["misses"] == stats["files"] == 2
+        assert {v.rule_id for v in violations} == {"SIM103"}
+
+
+def _write_sim101_project(root: Path, call_line_suffix: str = "") -> None:
+    (root / "timers.py").write_text(
+        textwrap.dedent(
+            '''
+            def schedule_wakeup(deadline_ns):
+                return deadline_ns
+            '''
+        ),
+        encoding="utf-8",
+    )
+    (root / "caller.py").write_text(
+        textwrap.dedent(
+            f'''
+            from timers import schedule_wakeup
+
+            TIMEOUT_US = 50
+
+
+            def arm():
+                return schedule_wakeup(TIMEOUT_US){call_line_suffix}
+            '''
+        ),
+        encoding="utf-8",
+    )
+
+
+class TestPragmaSuppression:
+    def test_unsuppressed_project_finding_fires(self, tmp_path):
+        _write_sim101_project(tmp_path)
+        violations, _ = lint_project([tmp_path])
+        assert {v.rule_id for v in violations} == {"SIM101"}
+
+    @pytest.mark.parametrize("spelling", ["allow-sim101", "allow-unit-dimension"])
+    def test_pragma_on_offending_line_suppresses(self, tmp_path, spelling):
+        _write_sim101_project(tmp_path, f"  # simlint: {spelling}")
+        violations, _ = lint_project([tmp_path])
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+    def test_pragma_on_other_line_does_not_suppress(self, tmp_path):
+        _write_sim101_project(tmp_path)
+        source = (tmp_path / "caller.py").read_text(encoding="utf-8")
+        (tmp_path / "caller.py").write_text(
+            source.replace("TIMEOUT_US = 50", "TIMEOUT_US = 50  # simlint: allow-sim101"),
+            encoding="utf-8",
+        )
+        violations, _ = lint_project([tmp_path])
+        assert {v.rule_id for v in violations} == {"SIM101"}
+
+    def test_unknown_pragma_is_reported_in_project_mode(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "X = 1  # simlint: allow-no-such-rule\n", encoding="utf-8"
+        )
+        violations, _ = lint_project([tmp_path])
+        assert {v.rule_id for v in violations} == {"SIM000"}
+
+    def test_unknown_pragma_survives_the_cache(self, tmp_path):
+        """SIM000 comes from the cached per-file pass; a warm run must
+        still report it."""
+        cache_dir = tmp_path / "cache"
+        project = tmp_path / "proj"
+        project.mkdir()
+        (project / "mod.py").write_text(
+            "X = 1  # simlint: allow-no-such-rule\n", encoding="utf-8"
+        )
+        lint_project([project], cache_dir=cache_dir)
+        violations, stats = lint_project([project], cache_dir=cache_dir)
+        assert stats["misses"] == 0
+        assert {v.rule_id for v in violations} == {"SIM000"}
+
+
+class TestProjectCli:
+    def test_bad_fixture_exits_one(self, capsys):
+        code = main(
+            ["lint", "--project", str(PROJECT_FIXTURES / "bad" / "sim101_unit_mismatch")]
+        )
+        assert code == 1
+        assert "SIM101" in capsys.readouterr().out
+
+    def test_good_fixture_exits_zero(self, capsys):
+        code = main(
+            ["lint", "--project", str(PROJECT_FIXTURES / "good" / "sim101_unit_match")]
+        )
+        assert code == 0
+
+    def test_json_schema_has_cache_and_provenance(self, capsys, tmp_path):
+        code = main(
+            [
+                "lint",
+                "--project",
+                "--format",
+                "json",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                str(PROJECT_FIXTURES / "bad" / "sim104_logging_hot_path"),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"violations", "count", "cache"}
+        assert payload["cache"] == {"files": 2, "hits": 0, "misses": 2}
+        (violation,) = payload["violations"]
+        assert set(violation) == {
+            "path",
+            "line",
+            "col",
+            "rule",
+            "name",
+            "message",
+            "provenance",
+        }
+        assert violation["rule"] == "SIM104"
+        assert violation["provenance"], "project finding lost its provenance"
+
+    def test_list_rules_includes_project_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("SIM101", "SIM102", "SIM103", "SIM104"):
+            assert rule_id in out
+        assert "allow-unit-dimension" in out
+        assert "allow-dead-export" in out
+
+    def test_explain_known_rule(self, capsys):
+        assert main(["lint", "--explain", "sim101"]) == 0
+        out = capsys.readouterr().out
+        assert "SIM101" in out
+        assert "Rationale:" in out
+        assert "Bad example" in out
+        assert "Good example" in out
+
+    def test_explain_accepts_pragma_name(self, capsys):
+        assert main(["lint", "--explain", "hot-path-purity"]) == 0
+        assert "SIM104" in capsys.readouterr().out
+
+    def test_explain_unknown_rule_is_usage_error(self, capsys):
+        assert main(["lint", "--explain", "SIM999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestSrcIsProjectClean:
+    def test_src_tree_passes_project_rules(self):
+        violations, stats = lint_project([SRC])
+        assert not violations, "project-rule violations in src/:\n" + "\n".join(
+            v.format() for v in violations
+        )
+        assert stats["files"] > 40
+
+
+class TestFileWalk:
+    def test_skips_pycache_and_hidden_dirs(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "real.py").write_text("A = 1\n", encoding="utf-8")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "real.py").write_text(
+            "B = 2\n", encoding="utf-8"
+        )
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "secret.py").write_text("C = 3\n", encoding="utf-8")
+        files = list(iter_python_files([tmp_path]))
+        assert files == [tmp_path / "pkg" / "real.py"]
+
+    def test_order_is_sorted_and_deterministic(self, tmp_path):
+        for name in ("zeta.py", "alpha.py", "mid.py"):
+            (tmp_path / name).write_text("X = 1\n", encoding="utf-8")
+        first = list(iter_python_files([tmp_path]))
+        assert first == sorted(first)
+        assert first == list(iter_python_files([tmp_path]))
+
+    def test_hidden_scan_root_is_still_linted(self, tmp_path):
+        """Only directories *below* the entry point are skip-checked: a
+        tree that happens to live under a dot-directory must lint."""
+        root = tmp_path / ".work" / "proj"
+        root.mkdir(parents=True)
+        (root / "mod.py").write_text("A = 1\n", encoding="utf-8")
+        assert list(iter_python_files([root])) == [root / "mod.py"]
+
+
+class TestUnitConstructors:
+    def test_constructors_match_constants(self):
+        assert units.us(20) == 20 * units.US == 20_000
+        assert units.ms(10) == 10 * units.MS == 10_000_000
+        assert units.s(1) == units.S == 1_000_000_000
+
+    def test_fractional_inputs_round_to_integer_ns(self):
+        assert units.us(0.5) == 500
+        assert isinstance(units.us(0.5), int)

@@ -251,4 +251,5 @@ class TestRunner:
             "rule",
             "name",
             "message",
+            "provenance",
         }
