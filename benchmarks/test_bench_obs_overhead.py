@@ -1,0 +1,130 @@
+"""Overhead guard for the observability layer.
+
+The contract (ISSUE 3, ARCHITECTURE.md section 8): a run that does not
+ask for metrics pays one attribute load and branch per instrumented
+site, nothing more.  Three lines of defence:
+
+- ``test_disabled_path_is_inert`` proves it *structurally*: every null
+  instrument is booby-trapped and a full experiment still runs, so the
+  disabled hot path provably never records.
+- ``test_bench_run_disabled`` / ``test_bench_run_enabled`` time the two
+  paths under pytest-benchmark so regressions against the seed numbers
+  show up in CI history (the <3% budget is judged on the disabled one).
+- ``test_enabled_overhead_is_bounded`` sanity-checks in-process that a
+  fully instrumented run (registry + heartbeat + ring trace) stays
+  within a loose multiple of the disabled run -- a tripwire for
+  accidentally quadratic instrumentation, not a precise budget.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, scaled_video_mix
+from repro.experiments.runner import run_experiment
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    _NullCounter,
+    _NullGauge,
+    _NullHistogram,
+)
+from repro.sim import units
+from repro.sim.monitor import Trace
+
+TIME_SCALE = 0.02
+WARMUP_NS = 50 * units.US
+MEASURE_NS = 200 * units.US
+
+
+def _config(seed: int = 1) -> ExperimentConfig:
+    return ExperimentConfig(
+        architecture="advanced-2vc",
+        load=1.0,
+        seed=seed,
+        topology="tiny",
+        warmup_ns=WARMUP_NS,
+        measure_ns=MEASURE_NS,
+        mix=scaled_video_mix(1.0, TIME_SCALE),
+    )
+
+
+def _booby_trap(monkeypatch, cls, method):
+    def boom(self, *args, **kwargs):  # pragma: no cover - must never run
+        raise AssertionError(
+            f"{cls.__name__}.{method} called on the disabled path"
+        )
+
+    monkeypatch.setattr(cls, method, boom)
+
+
+def test_disabled_path_is_inert(monkeypatch):
+    """With NULL_METRICS (the default), no instrument method ever fires.
+
+    Component constructors may *fetch* null instruments (that is the
+    one-time setup cost), but the hot path must be gated so the null
+    singletons never see an ``inc``/``set``/``observe``.
+    """
+    _booby_trap(monkeypatch, _NullCounter, "inc")
+    _booby_trap(monkeypatch, _NullGauge, "set")
+    _booby_trap(monkeypatch, _NullHistogram, "observe")
+    result = run_experiment(_config())
+    assert result.metrics is None
+    assert result.events_executed > 10_000
+
+
+def test_disabled_registry_allocates_nothing():
+    run_experiment(_config())
+    assert NULL_METRICS.snapshot() == {}
+
+
+def test_bench_run_disabled(benchmark):
+    result = benchmark(lambda: run_experiment(_config()))
+    assert result.events_executed > 10_000
+
+
+def test_bench_run_enabled(benchmark):
+    def run():
+        return run_experiment(
+            _config(),
+            metrics=MetricsRegistry(),
+            trace=Trace(capacity=10_000, ring=True),
+            heartbeat_ns=50 * units.US,
+        )
+
+    result = benchmark(run)
+    assert result.metrics is not None
+    assert len(result.metrics) > 10
+
+
+@pytest.mark.benchmark(disable_gc=False)
+def test_enabled_overhead_is_bounded():
+    """Full instrumentation must stay within a loose multiple of the
+    disabled path.  Deliberately generous (noise-proof): it exists to
+    catch pathological instrumentation, not to police the 3% budget --
+    pytest-benchmark history does that.
+    """
+
+    def wall(run):
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()  # simlint: allow-wallclock
+            run()
+            best = min(best, time.perf_counter() - t0)  # simlint: allow-wallclock
+        return best
+
+    disabled = wall(lambda: run_experiment(_config()))
+    enabled = wall(
+        lambda: run_experiment(
+            _config(),
+            metrics=MetricsRegistry(),
+            trace=Trace(capacity=10_000, ring=True),
+            heartbeat_ns=50 * units.US,
+        )
+    )
+    assert enabled < disabled * 2.5, (
+        f"instrumented run {enabled:.3f}s vs disabled {disabled:.3f}s "
+        f"(ratio {enabled / disabled:.2f}) -- instrumentation cost blew up"
+    )

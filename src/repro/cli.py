@@ -14,6 +14,8 @@ Subcommands:
                    means with 95% confidence intervals.
 - ``utilization`` -- run the mix and print the hottest links, per-tier
                    loads, and the spine-layer fairness index.
+- ``metrics``   -- pretty-print one metrics snapshot (from ``run
+                   --metrics-out``) or diff two; ``--schema`` validates.
 - ``list``      -- enumerate architectures and topology presets.
 
 Examples::
@@ -81,6 +83,39 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--arch", default="advanced-2vc", choices=sorted(ARCHITECTURES))
     run_p.add_argument("--load", type=float, default=1.0)
     run_p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    run_p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="enable the metrics registry and write the JSON snapshot here",
+    )
+    run_p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="enable event tracing (ring buffer, newest kept) and write it "
+        "as JSONL here",
+    )
+    run_p.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=100_000,
+        metavar="N",
+        help="trace ring-buffer size in records (default: 100000)",
+    )
+    run_p.add_argument(
+        "--heartbeat-us",
+        type=float,
+        default=200.0,
+        metavar="US",
+        help="telemetry sampling interval in simulated microseconds "
+        "(default: 200; used when --metrics-out or --live is on)",
+    )
+    run_p.add_argument(
+        "--live",
+        action="store_true",
+        help="print a live progress line (sim-time, events/sec, ETA) to stderr",
+    )
     common(run_p)
 
     fig_p = sub.add_parser("figure", help="regenerate a figure from the paper")
@@ -125,6 +160,23 @@ def build_parser() -> argparse.ArgumentParser:
     common(util_p)
 
     sub.add_parser("list", help="list architectures and topology presets")
+
+    met_p = sub.add_parser(
+        "metrics", help="pretty-print one metrics snapshot or diff two"
+    )
+    met_p.add_argument(
+        "snapshots",
+        nargs="+",
+        metavar="SNAPSHOT",
+        help="one snapshot file to pretty-print, or two to diff",
+    )
+    met_p.add_argument(
+        "--schema",
+        default=None,
+        metavar="FILE",
+        help="validate the snapshot(s) against this JSON schema first "
+        "(e.g. docs/metrics_schema.json); exit 1 on violations",
+    )
 
     lint_p = sub.add_parser(
         "lint", help="run simlint (simulator-specific static analysis)"
@@ -185,13 +237,105 @@ def _config_from(args: argparse.Namespace, *, arch: str, load: float) -> Experim
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_experiment(_config_from(args, arch=args.arch, load=args.load))
+    metrics = None
+    trace = None
+    if args.metrics_out or args.live:
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    if args.trace_out:
+        from repro.sim.monitor import Trace
+
+        trace = Trace(capacity=args.trace_capacity, ring=True)
+    observing = metrics is not None or args.live
+    result = run_experiment(
+        _config_from(args, arch=args.arch, load=args.load),
+        metrics=metrics,
+        trace=trace,
+        heartbeat_ns=units.us(args.heartbeat_us) if observing else None,
+        live_progress=args.live,
+    )
     if args.json:
         from repro.experiments.export import result_to_json
 
         print(result_to_json(result))
     else:
         print(result.summary())
+    if args.metrics_out:
+        from repro.obs.snapshot import dump_snapshot, run_snapshot
+
+        doc = run_snapshot(
+            metrics,
+            engine=result.fabric.engine,
+            telemetry=result.telemetry,
+            trace=trace,
+            run_info={
+                "architecture": args.arch,
+                "load": args.load,
+                "topology": args.topology,
+                "seed": args.seed,
+                "warmup_us": args.warmup_us,
+                "measure_us": args.measure_us,
+                "time_scale": args.time_scale,
+            },
+        )
+        with open(args.metrics_out, "w", encoding="utf-8") as fp:
+            dump_snapshot(doc, fp)
+        # status goes to stderr so --json stdout stays parseable
+        print(f"[metrics snapshot written to {args.metrics_out}]", file=sys.stderr)
+    if args.trace_out:
+        from repro.obs.snapshot import write_trace_jsonl
+
+        with open(args.trace_out, "w", encoding="utf-8") as fp:
+            written = write_trace_jsonl(trace, fp)
+        print(
+            f"[trace written to {args.trace_out}: {written} records, "
+            f"{trace.dropped} dropped]",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.snapshot import diff_snapshots, format_diff, format_snapshot, load_snapshot
+
+    if len(args.snapshots) > 2:
+        print(
+            "repro-qos metrics: expected one snapshot (print) or two (diff), "
+            f"got {len(args.snapshots)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        docs = [load_snapshot(path) for path in args.snapshots]
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"repro-qos metrics: {exc}", file=sys.stderr)
+        return 2
+    if args.schema:
+        from repro.obs.schema import validate
+
+        try:
+            with open(args.schema, "r", encoding="utf-8") as fp:
+                schema = json.load(fp)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"repro-qos metrics: cannot load schema: {exc}", file=sys.stderr)
+            return 2
+        failed = False
+        for path, doc in zip(args.snapshots, docs):
+            errors = validate(doc, schema)
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+            failed = failed or bool(errors)
+        if failed:
+            return 1
+        print(f"[schema ok: {', '.join(args.snapshots)}]", file=sys.stderr)
+    if len(docs) == 1:
+        print(format_snapshot(docs[0]))
+    else:
+        diff = diff_snapshots(docs[0], docs[1])
+        print(format_diff(diff, label_a=args.snapshots[0], label_b=args.snapshots[1]))
     return 0
 
 
@@ -452,6 +596,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_utilization(args)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "lint":
         return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -31,7 +31,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.core.queues.base import DeadlineTagged, PacketQueue
 
-__all__ = ["EDFPicker", "Picker", "RoundRobinPicker"]
+__all__ = ["EDFPicker", "MeteredPicker", "Picker", "RoundRobinPicker"]
 
 SendablePredicate = Callable[[DeadlineTagged], bool]
 
@@ -117,3 +117,32 @@ class RoundRobinPicker(Picker):
 
     def granted(self, index: int) -> None:
         self._next = index + 1
+
+
+class MeteredPicker(Picker):
+    """Transparent wrapper counting arbitration attempts and grants.
+
+    The counters are injected (any object with ``inc()``) so this module
+    stays free of an ``repro.obs`` import; the switch only wraps its
+    pickers when metrics are enabled, so the disabled path never pays the
+    extra indirection.
+    """
+
+    __slots__ = ("inner", "picks", "grants")
+
+    def __init__(self, inner: Picker, picks, grants):
+        self.inner = inner
+        self.picks = picks
+        self.grants = grants
+
+    def pick(
+        self,
+        queues: Sequence[PacketQueue],
+        sendable: Optional[SendablePredicate] = None,
+    ) -> Optional[int]:
+        self.picks.inc()
+        return self.inner.pick(queues, sendable)
+
+    def granted(self, index: int) -> None:
+        self.grants.inc()
+        self.inner.granted(index)

@@ -42,12 +42,16 @@ class TakeOverQueue(PacketQueue):
     VC" (Section 3.4's appendix note), so capacity is tracked jointly.
     """
 
-    __slots__ = ("_lower", "_upper")
+    __slots__ = ("_lower", "_upper", "takeover_hits")
 
     def __init__(self, capacity_bytes: Optional[int] = None):
         super().__init__(capacity_bytes)
         self._lower: deque[DeadlineTagged] = deque()  # L, the ordered queue
         self._upper: deque[DeadlineTagged] = deque()  # U, the take-over queue
+        #: How many arrivals went to U (deadline below L's tail) -- the
+        #: paper's measure of how often take-over actually pays off.  A
+        #: bare int bump, cheap enough to keep even with metrics off.
+        self.takeover_hits = 0
 
     # -- enqueuing (appendix Definition 1) ---------------------------------
     def push(self, pkt: DeadlineTagged) -> None:
@@ -62,6 +66,7 @@ class TakeOverQueue(PacketQueue):
             # reaching here with an empty L would mean the invariant broke.
             invariant(lower, "take-over queue occupied while ordered queue empty")
             self._upper.append(pkt)
+            self.takeover_hits += 1
 
     # -- dequeuing (appendix Definition 2) ----------------------------------
     def head(self) -> Optional[DeadlineTagged]:

@@ -10,6 +10,8 @@ from repro.core.architectures import ARCHITECTURES
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.presets import make_topology
 from repro.network.fabric import Fabric
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.telemetry import RunTelemetry, attach_run_telemetry, sync_component_totals
 from repro.sim import units
 from repro.sim.rng import RandomStreams
 from repro.stats.collectors import MetricsCollector
@@ -29,6 +31,9 @@ class RunResult:
     mix: TrafficMix
     events_executed: int
     wall_seconds: float
+    #: Observability extras (populated when the caller opts in).
+    metrics: Optional[object] = None
+    telemetry: Optional[RunTelemetry] = None
 
     # ------------------------------------------------------------------
     def mean_packet_latency(self, tclass: str) -> float:
@@ -120,20 +125,45 @@ def run_experiment(
     config: ExperimentConfig,
     *,
     collector: Optional[MetricsCollector] = None,
+    metrics=None,
+    trace=None,
+    heartbeat_ns: Optional[int] = None,
+    live_progress: bool = False,
 ) -> RunResult:
     """Run one configuration to completion and gather metrics.
 
     Deterministic in ``config`` (including the seed): repeated calls
-    return identical statistics.
+    return identical statistics.  Observability is opt-in: pass a
+    :class:`repro.obs.MetricsRegistry` as ``metrics`` and/or a
+    :class:`repro.sim.monitor.Trace` as ``trace`` to instrument the run,
+    and a ``heartbeat_ns`` to sample telemetry on that simulated-time
+    interval (``live_progress`` additionally prints a stderr status
+    line).  None of these change simulation results -- telemetry only
+    observes (the determinism tests assert as much).
     """
     topology = make_topology(config.topology)
     architecture = ARCHITECTURES[config.architecture]
-    fabric = Fabric(topology, architecture, config.params)
+    metrics = metrics if metrics is not None else NULL_METRICS
+    fabric_kwargs = {"metrics": metrics}
+    if trace is not None:
+        fabric_kwargs["trace"] = trace
+    fabric = Fabric(topology, architecture, config.params, **fabric_kwargs)
     streams = RandomStreams(config.seed)
     mix = build_mix(fabric, streams, config.mix_config)
     if collector is None:
         collector = MetricsCollector(warmup_ns=config.warmup_ns)
     fabric.subscribe_delivery(collector.on_delivery)
+
+    telemetry = None
+    if heartbeat_ns is not None:
+        telemetry = attach_run_telemetry(
+            fabric.engine,
+            fabric,
+            heartbeat_ns=heartbeat_ns,
+            metrics=metrics,
+            live=live_progress,
+            until_ns=config.end_ns,
+        )
 
     # Benchmark wall-time measurement: this is host time *around* the
     # simulation, never simulated time, so SIM002 documents it instead of
@@ -144,6 +174,9 @@ def run_experiment(
     mix.stop()
     collector.finalize(fabric.engine.now)
     wall = time.perf_counter() - started  # simlint: allow-wallclock
+    # Lift the always-on component tallies into the registry so the final
+    # snapshot carries them even without a heartbeat.
+    sync_component_totals(fabric.engine, fabric, metrics)
 
     return RunResult(
         config=config,
@@ -152,4 +185,6 @@ def run_experiment(
         mix=mix,
         events_executed=fabric.engine.events_executed,
         wall_seconds=wall,
+        metrics=metrics if metrics is not NULL_METRICS else None,
+        telemetry=telemetry,
     )

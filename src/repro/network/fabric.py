@@ -33,6 +33,7 @@ from repro.network.link import Link
 from repro.network.packet import Packet, VC_BEST_EFFORT, VC_REGULATED
 from repro.network.routing import RoutingTable
 from repro.network.topology import Topology, paper_topology
+from repro.obs.metrics import NULL_METRICS
 from repro.sim.engine import Engine
 from repro.sim.monitor import NullTrace
 from repro.sim.rng import RandomStreams
@@ -110,12 +111,14 @@ class Fabric:
         *,
         engine: Optional[Engine] = None,
         trace=_NULL_TRACE,
+        metrics=NULL_METRICS,
     ):
         self.topology = topology
         self.architecture = architecture
         self.params = params
         self.engine = engine or Engine()
         self.trace = trace
+        self.metrics = metrics
         self.flows = FlowRegistry()
         self.routing = RoutingTable(topology)
         self.admission = AdmissionController(
@@ -151,6 +154,7 @@ class Fabric:
                     self.clock_domain.offset(node_id) if self.clock_domain else 0
                 ),
                 n_vcs=params.n_vcs,
+                metrics=metrics,
             )
             for index, node_id in enumerate(topology.host_ids)
         ]
@@ -164,6 +168,7 @@ class Fabric:
                 architecture,
                 trace=trace,
                 n_vcs=params.n_vcs,
+                metrics=metrics,
             )
             for sw_id in topology.switch_ids
         }
@@ -287,6 +292,17 @@ class Fabric:
 
     def queued_in_hosts(self) -> int:
         return sum(h.queued_packets() for h in self.hosts)
+
+    def takeover_hits(self) -> int:
+        """Fabric-wide take-over (U) queue arrivals."""
+        return sum(sw.takeover_hits() for sw in self.switches.values())
+
+    def link_utilization(self) -> float:
+        """Mean fraction of simulated time the links spent transmitting."""
+        now = self.engine.now
+        if not self.links or now <= 0:
+            return 0.0
+        return sum(link.busy_ns for link in self.links.values()) / (now * len(self.links))
 
 
 def build_fabric(

@@ -30,6 +30,7 @@ from repro.core.flow import FlowKind, FlowState
 from repro.core.queues import EDFHeapQueue, FifoQueue, PacketQueue
 from repro.network.link import Link
 from repro.network.packet import N_VCS, Packet, VC_REGULATED
+from repro.obs.metrics import NULL_METRICS, SLACK_BUCKETS_NS
 from repro.sim.engine import Engine, EventHandle
 from repro.sim.monitor import NullTrace
 
@@ -64,6 +65,12 @@ class Host:
         "bytes_injected",
         "packets_received",
         "bytes_received",
+        "metrics",
+        "_obs_on",
+        "_m_slack",
+        "_m_miss",
+        "_m_miss_by_class",
+        "_m_stalls",
     )
 
     def __init__(
@@ -79,6 +86,7 @@ class Host:
         on_delivery: Optional[DeliveryCallback] = None,
         clock_offset: int = 0,
         n_vcs: int = N_VCS,
+        metrics=NULL_METRICS,
     ):
         if mtu <= 0:
             raise ValueError(f"MTU must be positive, got {mtu}")
@@ -108,6 +116,24 @@ class Host:
         self.bytes_injected = 0
         self.packets_received = 0
         self.bytes_received = 0
+        # Observability (instruments shared fabric-wide by name; cached
+        # ``_obs_on`` keeps the disabled path to one attribute load).
+        self.metrics = metrics
+        self._obs_on = metrics.enabled
+        self._m_slack = [
+            metrics.histogram(
+                f"network.host.vc{vc}.delivery_slack_ns", SLACK_BUCKETS_NS, unit="ns"
+            )
+            for vc in range(n_vcs)
+        ]
+        self._m_miss = [
+            metrics.counter(f"network.host.vc{vc}.deadline_miss_total", unit="packets")
+            for vc in range(n_vcs)
+        ]
+        self._m_miss_by_class: dict = {}
+        self._m_stalls = metrics.counter(
+            "network.host.eligible_stalls_total", unit="packets"
+        )
 
     # ------------------------------------------------------------------
     # wiring
@@ -191,6 +217,8 @@ class Host:
             flow.packets_sent += 1
             flow.bytes_sent += size
             if pkt.vc == VC_REGULATED and eligible > now:
+                if self._obs_on:
+                    self._m_stalls.inc()
                 heapq.heappush(self._pending, (eligible, pkt.uid, pkt))
             else:
                 self._ready[pkt.vc].push(pkt)
@@ -271,6 +299,20 @@ class Host:
         link.return_credit(pkt.vc, pkt.size)
         if self.trace.enabled:
             self.trace.record(now, "host.deliver", self.node_id, pkt.uid, pkt.vc)
+        if self._obs_on:
+            # Slack on this NIC's local clock: TTD-mode links re-base the
+            # deadline onto it, and with zero skew local == simulation time.
+            slack_ns = pkt.deadline - (now + self.clock_offset)
+            self._m_slack[pkt.vc].observe(slack_ns)
+            if slack_ns < 0:
+                self._m_miss[pkt.vc].inc()
+                miss = self._m_miss_by_class.get(pkt.tclass)
+                if miss is None:
+                    miss = self._m_miss_by_class[pkt.tclass] = self.metrics.counter(
+                        f"network.host.class.{pkt.tclass}.deadline_miss_total",
+                        unit="packets",
+                    )
+                miss.inc()
         if self.on_delivery is not None:
             self.on_delivery(pkt, now)
 

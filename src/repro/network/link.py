@@ -105,6 +105,7 @@ class Link:
         "receiver",
         "packets_carried",
         "bytes_carried",
+        "busy_ns",
         "clock_domain",
     )
 
@@ -135,6 +136,9 @@ class Link:
         self.receiver: Optional[Receiver] = None
         self.packets_carried = 0
         self.bytes_carried = 0
+        #: Total simulated time spent clocking bytes out; utilization over
+        #: any window is the delta of this divided by the window length.
+        self.busy_ns = 0
         #: When set (Section 3.3 mode), deadlines are carried across this
         #: link as time-to-destination values and re-based onto the
         #: receiving node's free-running clock.
@@ -156,6 +160,7 @@ class Link:
         self.channel.consume(pkt.vc, pkt.size)
         self.busy = True
         tx_ns = serialization_ns(pkt.size, self.bytes_per_ns)
+        self.busy_ns += tx_ns
         self.engine.after(tx_ns, self._tx_done, pkt)
 
     def _tx_done(self, pkt: Packet) -> None:

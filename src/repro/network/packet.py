@@ -72,6 +72,7 @@ class Packet:
         "birth",
         "inject",
         "deliver",
+        "hop_arrival",
     )
 
     def __init__(
@@ -114,6 +115,10 @@ class Packet:
         self.birth = birth
         self.inject: Optional[int] = None
         self.deliver: Optional[int] = None
+        #: When the packet entered the *current* switch's VOQ -- metrics
+        #: bookkeeping only (arbitration-wait histograms); switches never
+        #: arbitrate on it, so it is not part of the header discipline.
+        self.hop_arrival: Optional[int] = None
 
     def next_output_port(self) -> int:
         """Source routing: the output port to take at the current switch."""

@@ -37,10 +37,12 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.architectures import Architecture
+from repro.core.arbiter import MeteredPicker
 from repro.core.invariants import invariant
 from repro.core.queues import PacketQueue
 from repro.network.link import Link
 from repro.network.packet import N_VCS, Packet
+from repro.obs.metrics import DEPTH_BUCKETS, NULL_METRICS, WAIT_BUCKETS_NS
 from repro.sim.engine import Engine
 from repro.sim.monitor import NullTrace
 
@@ -66,6 +68,13 @@ class Switch:
         "_pickers",
         "packets_forwarded",
         "bytes_forwarded",
+        "metrics",
+        "_obs_on",
+        "_m_enqueue",
+        "_m_dequeue",
+        "_m_order_errors",
+        "_m_depth",
+        "_m_wait",
     )
 
     def __init__(
@@ -76,6 +85,7 @@ class Switch:
         architecture: Architecture,
         trace=_NULL_TRACE,
         n_vcs: int = N_VCS,
+        metrics=NULL_METRICS,
     ):
         if n_ports < 1:
             raise ValueError(f"switch needs >= 1 port, got {n_ports}")
@@ -119,6 +129,36 @@ class Switch:
                         queue.now_fn = self._clock
         self.packets_forwarded = 0
         self.bytes_forwarded = 0
+        # Observability: instruments are shared fabric-wide by name; the
+        # cached ``_obs_on`` bool keeps the disabled hot path at one
+        # attribute load + branch per site.
+        self.metrics = metrics
+        self._obs_on = metrics.enabled
+        self._m_enqueue = [
+            metrics.counter(f"network.switch.vc{vc}.enqueue_packets_total", unit="packets")
+            for vc in range(n_vcs)
+        ]
+        self._m_dequeue = [
+            metrics.counter(f"network.switch.vc{vc}.dequeue_packets_total", unit="packets")
+            for vc in range(n_vcs)
+        ]
+        self._m_order_errors = [
+            metrics.counter(f"network.switch.vc{vc}.order_errors_total", unit="packets")
+            for vc in range(n_vcs)
+        ]
+        self._m_depth = metrics.histogram(
+            "network.switch.queue_depth_packets", DEPTH_BUCKETS, unit="packets"
+        )
+        self._m_wait = metrics.histogram(
+            "network.switch.arbitration_wait_ns", WAIT_BUCKETS_NS, unit="ns"
+        )
+        if self._obs_on:
+            picks = metrics.counter("core.arbiter.picks_total", unit="picks")
+            grants = metrics.counter("core.arbiter.grants_total", unit="grants")
+            self._pickers = [
+                [MeteredPicker(picker, picks, grants) for picker in per_out]
+                for per_out in self._pickers
+            ]
 
     def _clock(self) -> int:
         return self.engine.now
@@ -151,7 +191,12 @@ class Switch:
                 f"{self.node_id}: source route names output port {out_port} "
                 f"but switch has {self.n_ports} ports"
             )
-        self._voq[in_port][out_port][pkt.vc].push(pkt)
+        queue = self._voq[in_port][out_port][pkt.vc]
+        queue.push(pkt)
+        if self._obs_on:
+            pkt.hop_arrival = self.engine.now
+            self._m_enqueue[pkt.vc].inc()
+            self._m_depth.observe(len(queue))
         if self.trace.enabled:
             self.trace.record(self.engine.now, "switch.enqueue", self.node_id, in_port, out_port, pkt.uid)
         out_link = self.out_links[out_port]
@@ -189,8 +234,23 @@ class Switch:
                 continue
             pkt = queues[index].pop()
             picker.granted(index)
+            if self._obs_on:
+                self._record_dequeue(pkt, queues[index])
             self._send(pkt, out_link, in_port=index)
             return
+
+    def _record_dequeue(self, pkt: Packet, queue: PacketQueue) -> None:
+        """Metrics-enabled path only: dequeue counts, arbitration wait,
+        and head-of-line order errors (the departing packet leaves behind
+        a *smaller*-deadline packet in the same VOQ -- exactly the
+        inversion the take-over structure exists to prevent)."""
+        self._m_dequeue[pkt.vc].inc()
+        if pkt.hop_arrival is not None:
+            self._m_wait.observe(self.engine.now - pkt.hop_arrival)
+            pkt.hop_arrival = None
+        head = queue.head()
+        if head is not None and head.deadline < pkt.deadline:
+            self._m_order_errors[pkt.vc].inc()
 
     def _send(self, pkt: Packet, out_link: Link, in_port: int) -> None:
         out_link.transmit(pkt)
@@ -226,3 +286,13 @@ class Switch:
 
     def voq(self, in_port: int, out_port: int, vc: int) -> PacketQueue:
         return self._voq[in_port][out_port][vc]
+
+    def takeover_hits(self) -> int:
+        """Arrivals that landed in a take-over (U) queue, summed over all
+        VOQs.  Zero for architectures without take-over queues."""
+        return sum(
+            getattr(queue, "takeover_hits", 0)
+            for per_in in self._voq
+            for per_out in per_in
+            for queue in per_out
+        )

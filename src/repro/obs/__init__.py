@@ -1,0 +1,73 @@
+"""Runtime observability: metrics registry, heartbeat telemetry, export.
+
+The layer has three pieces, designed so that a run that does not ask for
+observability pays (almost) nothing:
+
+- :mod:`repro.obs.metrics` -- ``Counter`` / ``Gauge`` / ``Histogram``
+  primitives and the :class:`~repro.obs.metrics.MetricsRegistry`;
+  :data:`~repro.obs.metrics.NULL_METRICS` is the null-object default
+  every component takes (one attribute load + branch when disabled).
+- :mod:`repro.obs.telemetry` -- :class:`~repro.obs.telemetry.RunTelemetry`
+  heartbeat sampling into :class:`repro.stats.timeseries.GaugeTimeSeries`
+  plus optional live stderr progress.
+- :mod:`repro.obs.snapshot` / :mod:`repro.obs.schema` -- the stable JSON
+  snapshot document, pretty-printer, differ, JSONL trace dump, and a
+  dependency-free schema validator used by CI.
+
+See docs/ARCHITECTURE.md section 8 for the design rationale and the
+metric naming scheme (``<layer>.<component>.<name>_<unit>``).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    DEPTH_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+    SLACK_BUCKETS_NS,
+    WAIT_BUCKETS_NS,
+)
+from repro.obs.schema import validate
+from repro.obs.snapshot import (
+    diff_snapshots,
+    dump_snapshot,
+    format_diff,
+    format_snapshot,
+    load_snapshot,
+    run_snapshot,
+    write_trace_jsonl,
+)
+from repro.obs.telemetry import (
+    RunTelemetry,
+    attach_run_telemetry,
+    fabric_samplers,
+    sync_component_totals,
+)
+
+__all__ = [
+    "Counter",
+    "DEPTH_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetrics",
+    "RunTelemetry",
+    "SLACK_BUCKETS_NS",
+    "WAIT_BUCKETS_NS",
+    "attach_run_telemetry",
+    "diff_snapshots",
+    "dump_snapshot",
+    "fabric_samplers",
+    "format_diff",
+    "format_snapshot",
+    "load_snapshot",
+    "run_snapshot",
+    "sync_component_totals",
+    "validate",
+    "write_trace_jsonl",
+]

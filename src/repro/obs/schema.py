@@ -1,0 +1,77 @@
+"""A small JSON-schema validator (stdlib only).
+
+The container does not ship ``jsonschema``, and the metrics snapshot
+only needs a practical subset: ``type`` (including lists of types),
+``properties`` / ``required`` / ``additionalProperties``, ``items``,
+``enum``, and ``minimum``.  :func:`validate` returns a list of
+human-readable error strings (empty == valid), so CI and tests can show
+everything wrong at once instead of failing on the first mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+__all__ = ["validate"]
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: Any, expected: str) -> bool:
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    py_type = _TYPES.get(expected)
+    return py_type is not None and isinstance(value, py_type)
+
+
+def validate(doc: Any, schema: dict, path: str = "$") -> List[str]:
+    """Check ``doc`` against ``schema``; return all violation messages."""
+    errors: List[str] = []
+    expected_type = schema.get("type")
+    if expected_type is not None:
+        allowed = expected_type if isinstance(expected_type, list) else [expected_type]
+        if not any(_type_ok(doc, t) for t in allowed):
+            errors.append(
+                f"{path}: expected type {'/'.join(allowed)}, "
+                f"got {type(doc).__name__}"
+            )
+            return errors  # nested checks would only cascade
+
+    if "enum" in schema and doc not in schema["enum"]:
+        errors.append(f"{path}: {doc!r} not in enum {schema['enum']}")
+
+    minimum = schema.get("minimum")
+    if minimum is not None and isinstance(doc, (int, float)) and not isinstance(doc, bool):
+        if doc < minimum:
+            errors.append(f"{path}: {doc} < minimum {minimum}")
+
+    if isinstance(doc, dict):
+        properties = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in doc:
+                errors.append(f"{path}: missing required property {key!r}")
+        additional = schema.get("additionalProperties", True)
+        for key, value in doc.items():
+            if key in properties:
+                errors.extend(validate(value, properties[key], f"{path}.{key}"))
+            elif additional is False:
+                errors.append(f"{path}: unexpected property {key!r}")
+            elif isinstance(additional, dict):
+                errors.extend(validate(value, additional, f"{path}.{key}"))
+
+    if isinstance(doc, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for index, value in enumerate(doc):
+                errors.extend(validate(value, items, f"{path}[{index}]"))
+
+    return errors

@@ -81,6 +81,8 @@ class Engine:
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        self._tombstones_discarded = 0
+        self._count_live = False
 
     # ------------------------------------------------------------------
     # time & introspection
@@ -92,19 +94,51 @@ class Engine:
 
     @property
     def events_executed(self) -> int:
-        """Number of callbacks fired so far (for microbenchmarks/tests)."""
+        """Number of callbacks fired so far (for microbenchmarks/tests).
+
+        By default this is only refreshed when :meth:`run` returns; call
+        :meth:`enable_live_event_count` first if you need it accurate
+        *inside* a callback (telemetry does).
+        """
         return self._events_executed
+
+    def enable_live_event_count(self) -> None:
+        """Refresh :attr:`events_executed` after every callback.
+
+        Off by default: the per-event attribute store costs a few percent
+        of pure dispatch throughput, so only observers that sample
+        mid-run (e.g. :class:`repro.obs.telemetry.RunTelemetry`) should
+        turn it on.  Irreversible for the engine's lifetime; cheap anyway
+        once any instrumentation is attached.
+        """
+        self._count_live = True
 
     @property
     def pending(self) -> int:
         """Number of heap entries, *including* cancelled tombstones."""
         return len(self._heap)
 
+    @property
+    def tombstones_discarded(self) -> int:
+        """Cancelled entries popped and thrown away so far.
+
+        The tombstone *ratio* (discarded / (discarded + executed)) is the
+        health number: near 1.0 means most heap traffic is cancellation
+        garbage and the scheduling pattern deserves a look.
+        """
+        return self._tombstones_discarded
+
+    @property
+    def tombstone_ratio(self) -> float:
+        total = self._tombstones_discarded + self._events_executed
+        return self._tombstones_discarded / total if total else 0.0
+
     def peek_time(self) -> Optional[int]:
         """Timestamp of the next live event, or ``None`` if the heap is empty."""
         heap = self._heap
         while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
+            self._tombstones_discarded += 1
         return heap[0][0] if heap else None
 
     # ------------------------------------------------------------------
@@ -153,6 +187,13 @@ class Engine:
 
         heap = self._heap
         pop = heapq.heappop
+        base = self._events_executed
+        # With _count_live set, the public counter is refreshed after
+        # every callback so observers sampling *inside* the loop (the
+        # telemetry heartbeat's events/sec probe) see a moving count;
+        # otherwise the loop keeps the cheaper local counter and the
+        # attribute is refreshed once on the way out.
+        live = self._count_live
         executed = 0
         self._running = True
         self._stopped = False
@@ -162,6 +203,7 @@ class Engine:
                 ev = entry[2]
                 if ev.cancelled:
                     pop(heap)
+                    self._tombstones_discarded += 1
                     continue
                 if until is not None and entry[0] > until:
                     break
@@ -171,11 +213,13 @@ class Engine:
                 self._now = entry[0]
                 ev.fn(*ev.args)
                 executed += 1
+                if live:
+                    self._events_executed = base + executed
                 if self._stopped:
                     break
         finally:
             self._running = False
-            self._events_executed += executed
+            self._events_executed = base + executed
         if until is not None and not self._stopped and (
             max_events is None or executed < max_events
         ):

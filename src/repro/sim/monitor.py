@@ -13,7 +13,8 @@ that a cheap no-op, keeping the hot path free of ``if`` clutter.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, NamedTuple, Optional, Set
+from collections import deque
+from typing import Any, Callable, Iterable, List, NamedTuple, Optional, Set, Union
 
 __all__ = ["NullTrace", "Trace", "TraceRecord"]
 
@@ -44,14 +45,35 @@ class Trace:
     >>> t.record(11, "link.busy", "ignored")
     >>> [r.topic for r in t.records]
     ['switch.forward']
+
+    **Drop policy at capacity.**  With ``ring=False`` (the default,
+    matching historical behaviour) a full trace keeps the *oldest*
+    records and drops new arrivals -- right for "how did the run start"
+    forensics.  With ``ring=True`` the buffer keeps the *newest*
+    ``capacity`` records, evicting the oldest -- right for "what
+    happened just before it went wrong".  Either way ``dropped`` counts
+    every record not retained, and subscribers always see **all**
+    matching records regardless of buffer state: capacity bounds
+    memory, not the callback stream.
     """
 
     enabled = True
 
-    def __init__(self, topics: Optional[Iterable[str]] = None, capacity: Optional[int] = None):
+    def __init__(
+        self,
+        topics: Optional[Iterable[str]] = None,
+        capacity: Optional[int] = None,
+        *,
+        ring: bool = False,
+    ):
+        if ring and capacity is None:
+            raise ValueError("ring=True requires a capacity")
         self.topics: Optional[Set[str]] = set(topics) if topics is not None else None
         self.capacity = capacity
-        self.records: List[TraceRecord] = []
+        self.ring = ring
+        self.records: Union[List[TraceRecord], "deque[TraceRecord]"] = (
+            deque(maxlen=capacity) if ring else []
+        )
         self.dropped = 0
         self._subscribers: dict[str, list[Callable[[TraceRecord], None]]] = {}
 
@@ -61,6 +83,8 @@ class Trace:
         rec = TraceRecord(time, topic, payload)
         if self.capacity is not None and len(self.records) >= self.capacity:
             self.dropped += 1
+            if self.ring:
+                self.records.append(rec)  # deque(maxlen=...) evicts the oldest
         else:
             self.records.append(rec)
         for fn in self._subscribers.get(topic, ()):
@@ -78,3 +102,13 @@ class Trace:
     def clear(self) -> None:
         self.records.clear()
         self.dropped = 0
+
+    def snapshot(self) -> dict:
+        """Buffer state as a JSON-ready summary (policy, retention, drops)."""
+        return {
+            "retained": len(self.records),
+            "dropped": self.dropped,
+            "capacity": self.capacity,
+            "policy": "ring-keep-newest" if self.ring else "keep-oldest",
+            "topics": sorted(self.topics) if self.topics is not None else None,
+        }

@@ -25,13 +25,14 @@ from repro.stats.flows import FlowStats, PerFlowCollector
 from repro.stats.report import format_row, format_table
 from repro.stats.reservoir import Reservoir
 from repro.stats.running import RunningStats
-from repro.stats.timeseries import DeliveryTimeSeries
+from repro.stats.timeseries import DeliveryTimeSeries, GaugeTimeSeries
 
 __all__ = [
     "ClassStats",
     "DeliveryTimeSeries",
     "EmpiricalCDF",
     "FlowStats",
+    "GaugeTimeSeries",
     "MetricsCollector",
     "PerFlowCollector",
     "Reservoir",

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.network.packet import Packet
 from repro.stats.running import RunningStats
 
-__all__ = ["DeliveryTimeSeries"]
+__all__ = ["DeliveryTimeSeries", "GaugeTimeSeries"]
 
 
 class _Bucket:
@@ -27,6 +27,52 @@ class _Bucket:
         self.bytes = 0
         self.packets = 0
         self.latency = RunningStats()
+
+
+class GaugeTimeSeries:
+    """Heartbeat samples of named gauges over simulated time.
+
+    :class:`repro.obs.telemetry.RunTelemetry` appends one row per
+    heartbeat: ``(sim time ns, {gauge name: value})``.  Unlike
+    :class:`DeliveryTimeSeries` the sampling grid is driven by the
+    telemetry timer, not by deliveries, so rows are evenly spaced even
+    through dead air (which is exactly when a stalled fabric is most
+    interesting to look at).
+    """
+
+    def __init__(self) -> None:
+        self.samples: List[Tuple[int, Dict[str, float]]] = []
+
+    def append(self, t_ns: int, values: Dict[str, float]) -> None:
+        self.samples.append((t_ns, dict(values)))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def names(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for _, values in self.samples:
+            for name in values:
+                seen[name] = None
+        return sorted(seen)
+
+    def series(self, name: str) -> List[Tuple[int, float]]:
+        """(sim time ns, value) pairs for one gauge, skipping absent rows."""
+        return [(t, row[name]) for t, row in self.samples if name in row]
+
+    def latest(self, name: str) -> Optional[float]:
+        for t, row in reversed(self.samples):
+            if name in row:
+                return row[name]
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "samples": [
+                {"t_ns": t, "values": dict(sorted(row.items()))}
+                for t, row in self.samples
+            ]
+        }
 
 
 class DeliveryTimeSeries:

@@ -1,0 +1,10 @@
+"""Hot-path module calling a printing helper that merely *looks* like
+observability code (lives outside obs/)."""
+
+from progress import count_pop
+
+
+def pop(queue):
+    item = queue[0]
+    count_pop(item)
+    return item

@@ -1,0 +1,7 @@
+"""Instrumentation look-alike that is NOT under an obs/ directory: its
+console I/O must still be flagged when reached from the hot path."""
+
+
+def count_pop(item):
+    print("pop", item)
+    return item

@@ -1,0 +1,9 @@
+"""Hot-path module calling the sanctioned obs/ instrumentation helper."""
+
+from metrics import count_pop
+
+
+def pop(queue):
+    item = queue[0]
+    count_pop(item)
+    return item

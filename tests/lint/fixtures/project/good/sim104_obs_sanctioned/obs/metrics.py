@@ -1,0 +1,7 @@
+"""Observability module (under obs/): sanctioned on the hot path, even
+where it performs I/O (e.g. heartbeat-gated live progress)."""
+
+
+def count_pop(item):
+    print("pop", item)
+    return item

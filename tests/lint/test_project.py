@@ -28,6 +28,7 @@ FIXTURE_MATRIX = [
     ("SIM102", "sim102_unordered_dispatch", "sim102_ordered_dispatch"),
     ("SIM103", "sim103_dead_export", "sim103_live_exports"),
     ("SIM104", "sim104_logging_hot_path", "sim104_pure_hot_path"),
+    ("SIM104", "sim104_obs_impostor", "sim104_obs_sanctioned"),
 ]
 
 

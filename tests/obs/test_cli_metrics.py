@@ -1,0 +1,110 @@
+"""End-to-end CLI tests for ``run --metrics-out/--trace-out`` and the
+``metrics`` subcommand (print / diff / schema-validate exit codes)."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FAST = ["--topology", "tiny", "--warmup-us", "50", "--measure-us", "120"]
+SCHEMA = str(Path(__file__).resolve().parents[2] / "docs" / "metrics_schema.json")
+
+
+def _run_with_snapshot(tmp_path, name="snap.json", extra=()):
+    out = tmp_path / name
+    rc = main(
+        [
+            "run",
+            "--arch",
+            "advanced-2vc",
+            "--load",
+            "1.0",
+            *FAST,
+            "--metrics-out",
+            str(out),
+            "--heartbeat-us",
+            "50",
+            *extra,
+        ]
+    )
+    assert rc == 0
+    return out
+
+
+class TestRunExport:
+    def test_metrics_out_is_schema_valid(self, tmp_path, capsys):
+        out = _run_with_snapshot(tmp_path)
+        capsys.readouterr()
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["schema_version"] == 1
+        assert doc["engine"]["events_executed"] > 0
+        assert doc["run"]["architecture"] == "advanced-2vc"
+        assert len(doc["timeseries"]["samples"]) > 0
+        # the paper-relevant instruments are live under load
+        assert doc["metrics"]["core.takeover.hits_total"]["value"] > 0
+        assert doc["metrics"]["network.host.vc0.delivery_slack_ns"]["count"] > 0
+        assert main(["metrics", str(out), "--schema", SCHEMA]) == 0
+
+    def test_trace_out_writes_jsonl(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        _run_with_snapshot(
+            tmp_path,
+            extra=["--trace-out", str(trace_path), "--trace-capacity", "500"],
+        )
+        capsys.readouterr()
+        lines = trace_path.read_text(encoding="utf-8").splitlines()
+        header = json.loads(lines[0])
+        assert header["type"] == "trace-summary"
+        assert header["policy"] == "ring-keep-newest"
+        assert header["retained"] == 500 and len(lines) == 501
+        record = json.loads(lines[1])
+        assert set(record) == {"t_ns", "topic", "payload"}
+
+
+class TestMetricsCommand:
+    def test_pretty_print(self, tmp_path, capsys):
+        out = _run_with_snapshot(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "counters:" in printed and "histograms:" in printed
+        assert "core.takeover.hits_total" in printed
+
+    def test_diff_two_snapshots(self, tmp_path, capsys):
+        a = _run_with_snapshot(tmp_path, "a.json")
+        b = _run_with_snapshot(tmp_path, "b.json", extra=["--seed", "2"])
+        capsys.readouterr()
+        assert main(["metrics", str(a), str(b)]) == 0
+        printed = capsys.readouterr().out
+        assert "->" in printed  # different seeds disagree somewhere
+
+    def test_diff_identical_snapshots(self, tmp_path, capsys):
+        a = _run_with_snapshot(tmp_path, "a.json")
+        capsys.readouterr()
+        assert main(["metrics", str(a), str(a)]) == 0
+        assert "snapshots are identical" in capsys.readouterr().out
+
+    def test_three_files_usage_error(self, tmp_path, capsys):
+        assert main(["metrics", "x.json", "y.json", "z.json"]) == 2
+
+    def test_missing_file_is_exit_2(self, tmp_path, capsys):
+        assert main(["metrics", str(tmp_path / "nope.json")]) == 2
+
+    def test_non_snapshot_json_is_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text("{}", encoding="utf-8")
+        assert main(["metrics", str(path)]) == 2
+
+    def test_schema_violation_is_exit_1(self, tmp_path, capsys):
+        out = _run_with_snapshot(tmp_path)
+        capsys.readouterr()
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        doc["schema_version"] = "one"
+        out.write_text(json.dumps(doc), encoding="utf-8")
+        assert main(["metrics", str(out), "--schema", SCHEMA]) == 1
+        assert "expected type integer" in capsys.readouterr().err
+
+    def test_unreadable_schema_is_exit_2(self, tmp_path, capsys):
+        out = _run_with_snapshot(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", str(out), "--schema", str(tmp_path / "no.json")]) == 2

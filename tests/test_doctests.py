@@ -11,6 +11,7 @@ import pytest
 
 import repro.core.eligible
 import repro.core.invariants
+import repro.obs.telemetry
 import repro.sim.rng
 import repro.sim.units
 import repro.stats.report
@@ -20,6 +21,7 @@ MODULES = [
     repro.sim.units,
     repro.core.eligible,
     repro.core.invariants,
+    repro.obs.telemetry,
     repro.stats.report,
     repro.sim.rng,
     repro.sim.monitor,
