@@ -1,0 +1,136 @@
+"""Parallel campaign execution: speedup and warm-cache replay.
+
+Times a reduced Figure 2 sweep (the four architectures at full load)
+through :class:`repro.exec.executor.SweepExecutor` three ways:
+
+- serially (``jobs=1``, the in-process path),
+- across a 4-worker process pool (``jobs=4``) -- the acceptance target
+  is >= 2x wall-clock speedup on a 4-core machine, and the *output*
+  must match the serial run exactly (submission-index merge);
+- replayed from a warm content-addressed cache -- zero simulations
+  executed, completing in a small fraction of the cold time.
+
+On machines with fewer cores the speedup bound degrades gracefully (a
+process pool cannot beat physics); correctness assertions always run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from conftest import TIME_SCALE
+from repro.exec.executor import SweepExecutor
+from repro.experiments.config import ExperimentConfig, scaled_video_mix
+from repro.experiments.figures import DEFAULT_ARCHS, fig2_control, sweep
+from repro.sim import units
+
+#: Reduced Fig. 2 grid: one full-load point per architecture, with
+#: windows sized so the serial sweep takes seconds, not minutes.
+SWEEP_LOADS = (1.0,)
+SWEEP_WARMUP_NS = 200 * units.US
+SWEEP_MEASURE_NS = 600 * units.US
+
+
+def sweep_configs(topology: str, seed: int):
+    return [
+        ExperimentConfig(
+            architecture=arch,
+            load=load,
+            seed=seed,
+            topology=topology,
+            warmup_ns=SWEEP_WARMUP_NS,
+            measure_ns=SWEEP_MEASURE_NS,
+            mix=scaled_video_mix(load, TIME_SCALE),
+        )
+        for arch in DEFAULT_ARCHS
+        for load in SWEEP_LOADS
+    ]
+
+
+def strip_wall(summary):
+    doc = summary.to_dict()
+    doc.pop("wall_seconds")
+    return doc
+
+
+def usable_cpus() -> int:
+    return len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+
+
+def test_bench_sweep_parallel_speedup(benchmark, bench_topology, bench_seed):
+    """Acceptance: --jobs 4 is >= 2x faster than --jobs 1 (given 4 cores)
+    and produces identical summaries."""
+    configs = sweep_configs(bench_topology, bench_seed)
+
+    t0 = time.perf_counter()
+    serial = SweepExecutor(jobs=1).run(configs)
+    serial_s = time.perf_counter() - t0
+
+    parallel_exec = SweepExecutor(jobs=4)
+    t0 = time.perf_counter()
+    parallel = benchmark.pedantic(parallel_exec.run, args=(configs,), rounds=1, iterations=1)
+    parallel_s = time.perf_counter() - t0
+
+    # Correctness first: identical results modulo wall_seconds.
+    assert [strip_wall(s) for s in parallel] == [strip_wall(s) for s in serial]
+    assert parallel_exec.stats()["executed"] == len(configs)
+
+    speedup = serial_s / parallel_s
+    cpus = usable_cpus()
+    print(f"\n  serial {serial_s:6.2f}s   jobs=4 {parallel_s:6.2f}s   "
+          f"speedup x{speedup:.2f}   ({cpus} usable cpus)")
+    if cpus >= 4:
+        assert speedup >= 2.0, f"expected >=2x on {cpus} cpus, got x{speedup:.2f}"
+    elif cpus >= 2:
+        assert speedup >= 1.3, f"expected >=1.3x on {cpus} cpus, got x{speedup:.2f}"
+    else:
+        pytest.skip(
+            f"single usable CPU: speedup x{speedup:.2f} not meaningful "
+            "(correctness asserted above)"
+        )
+
+
+def test_bench_warm_cache_replay(benchmark, bench_topology, bench_seed, tmp_path):
+    """Acceptance: a warm-cache re-run executes zero simulations and its
+    figure output is identical to the cold run's."""
+    kwargs = dict(
+        topology=bench_topology,
+        seed=bench_seed,
+        warmup_ns=SWEEP_WARMUP_NS,
+        measure_ns=SWEEP_MEASURE_NS,
+        mix_factory=lambda load: scaled_video_mix(load, TIME_SCALE),
+    )
+
+    cold_exec = SweepExecutor(jobs=1, cache_dir=tmp_path)
+    t0 = time.perf_counter()
+    cold = sweep(DEFAULT_ARCHS, SWEEP_LOADS, executor=cold_exec, **kwargs)
+    cold_s = time.perf_counter() - t0
+    assert cold_exec.stats()["executed"] == len(cold)
+
+    warm_exec = SweepExecutor(jobs=1, cache_dir=tmp_path)
+    t0 = time.perf_counter()
+    warm = benchmark.pedantic(
+        lambda: sweep(DEFAULT_ARCHS, SWEEP_LOADS, executor=warm_exec, **kwargs),
+        rounds=1,
+        iterations=1,
+    )
+    warm_s = time.perf_counter() - t0
+
+    stats = warm_exec.stats()
+    assert stats["executed"] == 0, "warm replay must simulate nothing"
+    assert stats["cache_hits"] == stats["tasks"] == len(warm)
+
+    # The replay is exact: same figure text, wall_seconds included
+    # (summaries come back verbatim from the cache).
+    cold_fig = fig2_control(DEFAULT_ARCHS, SWEEP_LOADS, results=cold, cdf_points=8)
+    warm_fig = fig2_control(DEFAULT_ARCHS, SWEEP_LOADS, results=warm, cdf_points=8)
+    assert warm_fig.text() == cold_fig.text()
+
+    print(f"\n  cold {cold_s:6.2f}s   warm {warm_s:6.3f}s   "
+          f"({stats['cache_hits']}/{stats['tasks']} cache hits)")
+    assert warm_s < cold_s / 10, "warm replay should be ~free"

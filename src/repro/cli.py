@@ -79,6 +79,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="video time compression (1.0 = paper's real 25 fps / 10 ms target)",
         )
 
+    def parallel(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="simulations to run in parallel (process pool; default: 1 = "
+            "in-process; output is byte-identical at any job count)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="content-addressed result cache; warm re-runs replay "
+            "finished sweep points without simulating",
+        )
+
     run_p = sub.add_parser("run", help="run one simulation and print per-class QoS")
     run_p.add_argument("--arch", default="advanced-2vc", choices=sorted(ARCHITECTURES))
     run_p.add_argument("--load", type=float, default=1.0)
@@ -130,12 +147,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="also export the series (.csv or .json)"
     )
     common(fig_p)
+    parallel(fig_p)
 
     claims_p = sub.add_parser(
         "claims", help="order-error latency penalties vs the Ideal architecture"
     )
     claims_p.add_argument("--load", type=float, default=1.0)
     common(claims_p)
+    parallel(claims_p)
 
     cost_p = sub.add_parser(
         "cost", help="comparator work and hardware per architecture (Section 6)"
@@ -150,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--load", type=float, default=1.0)
     rep_p.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
     common(rep_p)
+    parallel(rep_p)
 
     util_p = sub.add_parser(
         "utilization", help="link loads, hotspots, and spine fairness"
@@ -339,12 +359,32 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_executor(args: argparse.Namespace):
+    """The campaign executor for one CLI invocation (--jobs/--cache-dir)."""
+    from repro.exec.executor import SweepExecutor
+
+    return SweepExecutor(jobs=args.jobs, cache_dir=args.cache_dir)
+
+
+def _print_sweep_stats(executor) -> None:
+    # stats go to stderr so stdout stays byte-identical at any --jobs
+    # (and CI can grep the warm-run cache-hit count here)
+    stats = executor.stats()
+    print(
+        f"[sweep: {stats['tasks']} points, {stats['cache_hits']} cached, "
+        f"{stats['executed']} executed, jobs={stats['jobs']}]",
+        file=sys.stderr,
+    )
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
+    executor = _sweep_executor(args)
     kwargs = dict(
         archs=tuple(args.archs),
         loads=tuple(args.loads),
         topology=args.topology,
         seed=args.seed,
+        executor=executor,
     )
     if args.figure == "fig2":
         series = fig2_control(
@@ -366,6 +406,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
         path = write_figure(series, args.out)
         print(f"\n[series exported to {path}]")
+    _print_sweep_stats(executor)
     return 0
 
 
@@ -405,7 +446,8 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     from repro.experiments.replication import replicate
 
     config = _config_from(args, arch=args.arch, load=args.load)
-    replication = replicate(config, args.seeds)
+    executor = _sweep_executor(args)
+    replication = replicate(config, args.seeds, executor=executor)
     print(
         f"{ARCHITECTURES[args.arch].label}  load={args.load:.0%}  "
         f"{len(args.seeds)} seeds {tuple(args.seeds)}\n"
@@ -424,20 +466,24 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
             f"throughput {throughput.mean:7.3f} B/ns "
             f"[{tput_lo:.3f}, {tput_hi:.3f}]"
         )
+    _print_sweep_stats(executor)
     return 0
 
 
 def _cmd_claims(args: argparse.Namespace) -> int:
+    executor = _sweep_executor(args)
     penalties = order_error_penalties(
         load=args.load,
         topology=args.topology,
         seed=args.seed,
         warmup_ns=units.us(args.warmup_us),
         measure_ns=units.us(args.measure_us),
+        executor=executor,
     )
     print("Control-traffic mean latency relative to Ideal (paper: Simple ~1.25, Advanced ~1.05):")
     for arch, factor in penalties.items():
         print(f"  {ARCHITECTURES[arch].label:<18} x{factor:.3f}")
+    _print_sweep_stats(executor)
     return 0
 
 

@@ -1,0 +1,302 @@
+"""Parallel campaign execution over a process pool.
+
+Every headline artifact of the reproduction -- the figure sweeps, the
+order-error penalties, multi-seed replication -- is a batch of
+independent, CPU-bound, pure-Python simulations.  :class:`SweepExecutor`
+runs such a batch:
+
+- **Deterministically.**  Results merge by *submission index*, never by
+  completion order, so the output of ``--jobs 8`` is bit-for-bit the
+  output of ``--jobs 1``.  Each task is seeded entirely by its config
+  (the simulator draws every stream from the config seed; there is no
+  process-global RNG state), so where a task runs cannot matter.
+- **Through one code path.**  ``jobs=1`` calls the same
+  :func:`~repro.exec.summary.execute_config` worker in-process that the
+  pool calls in children -- serial and parallel cannot drift.
+- **With failures surfaced.**  A worker exception, a dead worker
+  process, or a task exceeding ``timeout_s`` raises a structured
+  :class:`SweepTaskError` naming the task, instead of a hung sweep or a
+  bare traceback from a nameless child.
+- **Against a content-addressed cache.**  Points whose digest is cached
+  are replayed without simulating; fresh points are written to the
+  cache as they finish, so an interrupted campaign resumes where it
+  stopped (see :mod:`repro.exec.cache`).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+    as_completed,
+)
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.invariants import invariant
+from repro.exec.cache import ResultCache
+from repro.exec.digest import config_digest
+from repro.exec.summary import DEFAULT_CDF_SAMPLES, RunSummary, execute_config
+from repro.experiments.config import ExperimentConfig
+
+__all__ = ["SweepExecutor", "SweepTaskError"]
+
+Worker = Callable[..., RunSummary]
+
+
+class SweepTaskError(RuntimeError):
+    """One sweep task failed, crashed, or timed out.
+
+    Carries enough structure (task index, config, digest, failure kind)
+    for a campaign driver to report, skip, or retry the point; the
+    original exception rides along as ``__cause__``.
+    """
+
+    #: Failure kinds.
+    FAILED = "failed"  # the worker raised
+    CRASHED = "crashed"  # the worker process died (segfault, OOM-kill)
+    TIMEOUT = "timeout"  # no result within timeout_s
+
+    def __init__(
+        self,
+        index: int,
+        config: ExperimentConfig,
+        digest: str,
+        kind: str,
+        detail: str = "",
+    ) -> None:
+        self.index = index
+        self.config = config
+        self.digest = digest
+        self.kind = kind
+        self.detail = detail
+        message = (
+            f"sweep task #{index} (arch={config.architecture}, "
+            f"load={config.load:g}, seed={config.seed}) {kind}"
+        )
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class SweepExecutor:
+    """Run batches of :class:`ExperimentConfig` to :class:`RunSummary`.
+
+    ``jobs=1`` (the default) executes in-process; ``jobs=N`` fans out
+    over a :class:`~concurrent.futures.ProcessPoolExecutor`.  One
+    executor can serve several batches (e.g. a sweep followed by a
+    replication) and accumulates campaign totals in :meth:`stats`.
+
+    ``worker`` swaps the task function (testing / extension hook); the
+    cache is keyed by config digest regardless, so only pass a
+    ``cache_dir`` with workers whose output is a pure function of the
+    config, as :func:`execute_config` is.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, "object"]] = None,
+        *,
+        timeout_s: Optional[float] = None,
+        collect_obs: bool = False,
+        cdf_samples: int = DEFAULT_CDF_SAMPLES,
+        worker: Optional[Worker] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.cache = ResultCache(cache_dir)
+        self.timeout_s = timeout_s
+        self.collect_obs = collect_obs
+        self.cdf_samples = cdf_samples
+        self.worker: Worker = worker if worker is not None else execute_config
+        #: Campaign totals across every run() call on this executor.
+        self.tasks = 0
+        self.cache_hits = 0
+        self.executed = 0
+
+    # ------------------------------------------------------------------
+    def digest_of(self, config: ExperimentConfig) -> str:
+        """The cache key for one task under this executor's options."""
+        return config_digest(
+            config, cdf_samples=self.cdf_samples, collect_obs=self.collect_obs
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Campaign totals: submitted points, cache replays, simulations."""
+        return {
+            "tasks": self.tasks,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "jobs": self.jobs,
+        }
+
+    # ------------------------------------------------------------------
+    def run(self, configs: Sequence[ExperimentConfig]) -> List[RunSummary]:
+        """Execute every config; results align with ``configs`` by index."""
+        configs = list(configs)
+        self.tasks += len(configs)
+        out: List[Optional[RunSummary]] = [None] * len(configs)
+        # Unique work units in first-appearance order: digest -> indices.
+        pending: Dict[str, List[int]] = {}
+        for index, config in enumerate(configs):
+            digest = self.digest_of(config)
+            if digest in pending:
+                pending[digest].append(index)  # duplicate point: coalesce
+                continue
+            cached = self.cache.get(digest)
+            if cached is not None:
+                out[index] = cached
+                self.cache_hits += 1
+                pending.setdefault(digest, [])  # claim slot to catch dups
+                pending[digest].append(index)
+                # mark as satisfied: indices already filled below
+                continue
+            pending[digest] = [index]
+        units: List[Tuple[str, List[int]]] = [
+            (digest, indices)
+            for digest, indices in pending.items()
+            if out[indices[0]] is None
+        ]
+        # Fan duplicate/cached indices out to their shared summary.
+        for digest, indices in pending.items():
+            first = out[indices[0]]
+            if first is not None:
+                for index in indices[1:]:
+                    out[index] = first
+                    self.cache_hits += 1
+        if units:
+            if self.jobs == 1 or len(units) == 1:
+                self._run_serial(configs, units, out)
+            else:
+                self._run_pool(configs, units, out)
+        invariant(
+            all(summary is not None for summary in out),
+            "sweep merge left %d of %d positions unfilled",
+            sum(1 for summary in out if summary is None),
+            len(out),
+        )
+        return out  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _worker_kwargs(self) -> Dict[str, object]:
+        return {"cdf_samples": self.cdf_samples, "collect_obs": self.collect_obs}
+
+    def _finish(
+        self,
+        digest: str,
+        indices: List[int],
+        summary: RunSummary,
+        out: List[Optional[RunSummary]],
+        *,
+        store: bool = True,
+    ) -> None:
+        if store:
+            self.cache.put(digest, summary)
+        self.executed += 1
+        for index in indices:
+            out[index] = summary
+
+    def _run_serial(
+        self,
+        configs: Sequence[ExperimentConfig],
+        units: Sequence[Tuple[str, List[int]]],
+        out: List[Optional[RunSummary]],
+    ) -> None:
+        kwargs = self._worker_kwargs()
+        for digest, indices in units:
+            config = configs[indices[0]]
+            try:
+                summary = self.worker(config, **kwargs)
+            except Exception as exc:
+                raise SweepTaskError(
+                    indices[0],
+                    config,
+                    digest,
+                    SweepTaskError.FAILED,
+                    f"{type(exc).__name__}: {exc}",
+                ) from exc
+            self._finish(digest, indices, summary, out)
+
+    def _run_pool(
+        self,
+        configs: Sequence[ExperimentConfig],
+        units: Sequence[Tuple[str, List[int]]],
+        out: List[Optional[RunSummary]],
+    ) -> None:
+        kwargs = self._worker_kwargs()
+        max_workers = min(self.jobs, len(units))
+        stored: set = set()
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        try:
+            futures: List[Future] = [
+                pool.submit(self.worker, configs[indices[0]], **kwargs)
+                for _, indices in units
+            ]
+            position: Dict[Future, int] = {
+                future: pos for pos, future in enumerate(futures)
+            }
+            try:
+                if self.timeout_s is None:
+                    # Persist points as they finish (completion order is
+                    # fine here: the cache is content-addressed), so an
+                    # interrupt keeps every completed point.  Failures
+                    # are deliberately deferred to the ordered pass
+                    # below, which surfaces the *lowest-index* failure
+                    # deterministically.
+                    for future in as_completed(futures):
+                        try:
+                            summary = future.result()
+                        except Exception:
+                            continue
+                        digest, _ = units[position[future]]
+                        self.cache.put(digest, summary)
+                        stored.add(position[future])
+                # Deterministic merge: strictly by submission index.
+                for pos, future in enumerate(futures):
+                    digest, indices = units[pos]
+                    config = configs[indices[0]]
+                    try:
+                        summary = future.result(timeout=self.timeout_s)
+                    except FutureTimeoutError as exc:
+                        raise SweepTaskError(
+                            indices[0],
+                            config,
+                            digest,
+                            SweepTaskError.TIMEOUT,
+                            f"no result within {self.timeout_s}s",
+                        ) from exc
+                    except BrokenExecutor as exc:
+                        raise SweepTaskError(
+                            indices[0],
+                            config,
+                            digest,
+                            SweepTaskError.CRASHED,
+                            "worker process died before returning a result",
+                        ) from exc
+                    except Exception as exc:
+                        raise SweepTaskError(
+                            indices[0],
+                            config,
+                            digest,
+                            SweepTaskError.FAILED,
+                            f"{type(exc).__name__}: {exc}",
+                        ) from exc
+                    self._finish(
+                        digest, indices, summary, out, store=pos not in stored
+                    )
+            except SweepTaskError:
+                # Abort the campaign *now*: cancel queued tasks and kill
+                # running workers, otherwise shutdown would block on the
+                # very task that just timed out (the hung sweep this
+                # error exists to prevent).  Completed points are
+                # already in the cache.
+                for future in futures:
+                    future.cancel()
+                for proc in list(getattr(pool, "_processes", {}).values()):
+                    proc.terminate()
+                raise
+        finally:
+            pool.shutdown(wait=True)

@@ -19,18 +19,31 @@ The paper's absolute numbers came from the authors' testbed simulator;
 what these sweeps reproduce is the *shape*: the ordering of the curves,
 the approximate overhead factors, and which architectures can or cannot
 differentiate classes.
+
+Sweeps execute through :class:`repro.exec.executor.SweepExecutor`:
+``jobs=N`` fans the (architecture, load) grid across a process pool and
+``cache_dir`` replays previously-computed points from the on-disk result
+cache.  Results merge by submission index, so the returned tables are
+byte-identical at any job count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.architectures import ARCHITECTURES
 from repro.experiments.config import ExperimentConfig, scaled_video_mix
-from repro.experiments.runner import RunResult, run_experiment
+from repro.experiments.runner import RunResult
 from repro.sim import units
 from repro.stats.report import format_table
+
+if TYPE_CHECKING:  # runtime imports stay lazy: repro.exec imports this package
+    from repro.exec.executor import SweepExecutor
+    from repro.exec.summary import ClassSummary, RunSummary
+
+#: Sweeps accept live results or cache/pool summaries interchangeably.
+SweepResult = Union[RunResult, "RunSummary"]
 
 __all__ = [
     "FigureSeries",
@@ -80,27 +93,50 @@ def sweep(
     warmup_ns: int = units.us(200),
     measure_ns: int = units.ms(1),
     mix_factory: Optional[Callable[[float], object]] = None,
-) -> Dict[Tuple[str, float], RunResult]:
-    """Run every (architecture, load) combination once."""
-    results: Dict[Tuple[str, float], RunResult] = {}
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    executor: Optional["SweepExecutor"] = None,
+) -> Dict[Tuple[str, float], "RunSummary"]:
+    """Run every (architecture, load) combination once.
+
+    Points execute through a :class:`SweepExecutor` -- in-process at
+    ``jobs=1``, across a process pool at ``jobs=N`` -- and come back as
+    :class:`~repro.exec.summary.RunSummary` in submission order, so the
+    result is independent of how it was executed.  Pass ``executor`` to
+    reuse one campaign-wide executor (shared cache, aggregated stats);
+    otherwise ``jobs``/``cache_dir`` configure a private one.
+    """
+    from repro.exec.executor import SweepExecutor
+
+    if executor is None:
+        executor = SweepExecutor(jobs=jobs, cache_dir=cache_dir)
+    keys: List[Tuple[str, float]] = []
+    configs: List[ExperimentConfig] = []
     for arch in archs:
         for load in loads:
             mix = mix_factory(load) if mix_factory is not None else None
-            config = ExperimentConfig(
-                architecture=arch,
-                load=load,
-                seed=seed,
-                topology=topology,
-                warmup_ns=warmup_ns,
-                measure_ns=measure_ns,
-                mix=mix,
+            keys.append((arch, load))
+            configs.append(
+                ExperimentConfig(
+                    architecture=arch,
+                    load=load,
+                    seed=seed,
+                    topology=topology,
+                    warmup_ns=warmup_ns,
+                    measure_ns=measure_ns,
+                    mix=mix,
+                )
             )
-            results[(arch, load)] = run_experiment(config)
-    return results
+    return dict(zip(keys, executor.run(configs)))
 
 
-def _cdf_curve(result: RunResult, tclass: str, *, messages: bool, points: int) -> List[Tuple[float, float]]:
-    stats = result.collector.get(tclass)
+def _class_stats(result: SweepResult, tclass: str) -> "ClassSummary":
+    """Per-class stats from a live result or a summary, identically."""
+    return result.collector.get(tclass)
+
+
+def _cdf_curve(result: SweepResult, tclass: str, *, messages: bool, points: int) -> List[Tuple[float, float]]:
+    stats = _class_stats(result, tclass)
     cdf = stats.message_cdf() if messages else stats.packet_cdf()
     return [(units.ns_to_us(x), p) for x, p in cdf.curve(points)]
 
@@ -115,13 +151,17 @@ def fig2_control(
     warmup_ns: int = units.us(200),
     measure_ns: int = units.ms(1),
     cdf_points: int = 12,
-    results: Optional[Dict[Tuple[str, float], RunResult]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    executor: Optional["SweepExecutor"] = None,
+    results: Optional[Dict[Tuple[str, float], SweepResult]] = None,
 ) -> FigureSeries:
     """Figure 2: latency of the Control class."""
     if results is None:
         results = sweep(
             archs, loads, topology=topology, seed=seed,
             warmup_ns=warmup_ns, measure_ns=measure_ns,
+            jobs=jobs, cache_dir=cache_dir, executor=executor,
         )
     series = FigureSeries(
         figure="Figure 2 -- Control traffic latency",
@@ -132,7 +172,7 @@ def fig2_control(
     for arch in archs:
         label = ARCHITECTURES[arch].label
         for load in loads:
-            stats = results[(arch, load)].collector.get("control")
+            stats = _class_stats(results[(arch, load)], "control")
             cdf = stats.message_cdf()
             series.rows.append(
                 [
@@ -159,7 +199,10 @@ def fig3_video(
     warmup_ns: Optional[int] = None,
     measure_ns: Optional[int] = None,
     cdf_points: int = 12,
-    results: Optional[Dict[Tuple[str, float], RunResult]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    executor: Optional["SweepExecutor"] = None,
+    results: Optional[Dict[Tuple[str, float], SweepResult]] = None,
 ) -> FigureSeries:
     """Figure 3: per-frame latency of the Multimedia class.
 
@@ -183,6 +226,7 @@ def fig3_video(
             warmup_ns=warmup_ns,
             measure_ns=measure_ns,
             mix_factory=lambda load: scaled_video_mix(load, time_scale),
+            jobs=jobs, cache_dir=cache_dir, executor=executor,
         )
     series = FigureSeries(
         figure="Figure 3 -- Multimedia (video frame) latency",
@@ -201,7 +245,7 @@ def fig3_video(
     for arch in archs:
         label = ARCHITECTURES[arch].label
         for load in loads:
-            stats = results[(arch, load)].collector.get("multimedia")
+            stats = _class_stats(results[(arch, load)], "multimedia")
             cdf = stats.message_cdf()
             within = cdf.prob_leq(1.1 * target_ns) - cdf.prob_leq(0.9 * target_ns)
             series.rows.append(
@@ -228,13 +272,17 @@ def fig4_best_effort(
     seed: int = 1,
     warmup_ns: int = units.us(200),
     measure_ns: int = units.ms(1),
-    results: Optional[Dict[Tuple[str, float], RunResult]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    executor: Optional["SweepExecutor"] = None,
+    results: Optional[Dict[Tuple[str, float], SweepResult]] = None,
 ) -> FigureSeries:
     """Figure 4: delivered throughput of the two best-effort classes."""
     if results is None:
         results = sweep(
             archs, loads, topology=topology, seed=seed,
             warmup_ns=warmup_ns, measure_ns=measure_ns,
+            jobs=jobs, cache_dir=cache_dir, executor=executor,
         )
     series = FigureSeries(
         figure="Figure 4 -- Best-effort class throughput",
@@ -280,7 +328,10 @@ def order_error_penalties(
     seed: int = 1,
     warmup_ns: int = units.us(200),
     measure_ns: int = units.ms(1),
-    results: Optional[Dict[Tuple[str, float], RunResult]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    executor: Optional["SweepExecutor"] = None,
+    results: Optional[Dict[Tuple[str, float], SweepResult]] = None,
 ) -> Dict[str, float]:
     """Section 3.4 / Section 5 headline: control-latency overhead vs Ideal.
 
@@ -292,9 +343,10 @@ def order_error_penalties(
         results = sweep(
             archs, (load,), topology=topology, seed=seed,
             warmup_ns=warmup_ns, measure_ns=measure_ns,
+            jobs=jobs, cache_dir=cache_dir, executor=executor,
         )
-    ideal = results[("ideal", load)].collector.get("control").message_latency.mean
+    ideal = _class_stats(results[("ideal", load)], "control").message_latency.mean
     return {
-        arch: results[(arch, load)].collector.get("control").message_latency.mean / ideal
+        arch: _class_stats(results[(arch, load)], "control").message_latency.mean / ideal
         for arch in archs
     }

@@ -6,19 +6,27 @@ error bars.  :func:`replicate` runs one configuration across seeds and
 :class:`Replication` reduces any scalar metric to mean / std / a normal
 95% confidence interval.
 
-The runner is embarrassingly parallel across seeds, but the simulations
-are CPU-bound pure Python, so parallelism is left to the caller (e.g.
-``pytest-xdist`` or a process pool over :func:`run_one`).
+The runner is embarrassingly parallel across seeds, and ``replicate``
+exploits that directly: ``jobs=N`` fans the seeds across a process pool
+via :class:`repro.exec.executor.SweepExecutor` (``cache_dir`` replays
+finished seeds from the result cache).  Replicates come back as compact
+:class:`~repro.exec.summary.RunSummary` objects in seed order, so the
+statistics are identical at any job count.  :func:`run_one` remains the
+picklable single-replicate entry point for ad-hoc pools.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import RunResult, run_experiment
+
+if TYPE_CHECKING:  # runtime imports stay lazy: repro.exec imports this package
+    from repro.exec.executor import SweepExecutor
+    from repro.exec.summary import RunSummary
 
 __all__ = ["MetricSummary", "Replication", "replicate", "run_one"]
 
@@ -64,13 +72,13 @@ class MetricSummary:
         return f"{self.name}: {self.mean:.4g} [{lo:.4g}, {hi:.4g}] (n={self.n})"
 
 
-MetricFn = Callable[[RunResult], float]
+MetricFn = Callable[["RunSummary"], float]
 
 
 class Replication:
     """Results of one configuration across several seeds."""
 
-    def __init__(self, config: ExperimentConfig, results: Dict[int, RunResult]):
+    def __init__(self, config: ExperimentConfig, results: Dict[int, "RunSummary"]):
         if not results:
             raise ValueError("replication needs at least one run")
         self.config = config
@@ -89,7 +97,7 @@ class Replication:
     def mean_latency(self, tclass: str) -> MetricSummary:
         return self.metric(
             f"mean latency [{tclass}]",
-            lambda r: r.collector.get(tclass).message_latency.mean,
+            lambda r: r.get(tclass).message_latency.mean,
         )
 
     def throughput(self, tclass: str) -> MetricSummary:
@@ -98,19 +106,39 @@ class Replication:
     def p99_latency(self, tclass: str) -> MetricSummary:
         return self.metric(
             f"p99 latency [{tclass}]",
-            lambda r: r.collector.get(tclass).message_cdf().quantile(0.99),
+            lambda r: r.get(tclass).message_cdf().quantile(0.99),
         )
 
 
 def run_one(config: ExperimentConfig, seed: int) -> RunResult:
-    """One replicate (top-level function so process pools can pickle it)."""
+    """One full-fidelity replicate (top-level, so ad-hoc process pools
+    can pickle it; the ``jobs=`` path in :func:`replicate` instead uses
+    :func:`repro.exec.summary.execute_config`, which returns the compact
+    summary)."""
     return run_experiment(config.with_(seed=seed))
 
 
-def replicate(config: ExperimentConfig, seeds: Sequence[int]) -> Replication:
-    """Run ``config`` once per seed (sequentially) and bundle the results."""
+def replicate(
+    config: ExperimentConfig,
+    seeds: Sequence[int],
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    executor: Optional["SweepExecutor"] = None,
+) -> Replication:
+    """Run ``config`` once per seed and bundle the results.
+
+    ``jobs=1`` runs in-process; ``jobs=N`` fans seeds across a process
+    pool.  Either way the per-seed summaries are identical (seeding is
+    entirely config-derived) and ordered by the ``seeds`` sequence.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
     if len(set(seeds)) != len(seeds):
         raise ValueError(f"duplicate seeds in {seeds!r}")
-    return Replication(config, {seed: run_one(config, seed) for seed in seeds})
+    from repro.exec.executor import SweepExecutor
+
+    if executor is None:
+        executor = SweepExecutor(jobs=jobs, cache_dir=cache_dir)
+    summaries = executor.run([config.with_(seed=seed) for seed in seeds])
+    return Replication(config, dict(zip(seeds, summaries)))

@@ -126,3 +126,51 @@ class TestFigure3Command:
         out = capsys.readouterr().out
         assert "Figure 3" in out
         assert "lat/target" in out
+
+
+class TestParallelSweep:
+    """--jobs / --cache-dir: determinism and warm-replay guarantees."""
+
+    FIG2 = [
+        "figure", "fig2", "--loads", "0.5",
+        "--archs", "ideal", "traditional-2vc", *FAST,
+    ]
+
+    def test_jobs4_stdout_byte_identical_to_jobs1(self, capsys):
+        """The acceptance criterion: figure output is byte-identical at
+        any --jobs (deterministic submission-index merge)."""
+        assert main([*self.FIG2, "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main([*self.FIG2, "--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_sweep_stats_go_to_stderr(self, capsys):
+        assert main([*self.FIG2, "--jobs", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "[sweep:" not in captured.out
+        assert "[sweep: 2 points, 0 cached, 2 executed, jobs=2]" in captured.err
+
+    def test_warm_cache_rerun_executes_nothing(self, capsys, tmp_path):
+        cache = ["--cache-dir", str(tmp_path)]
+        assert main([*self.FIG2, *cache]) == 0
+        cold = capsys.readouterr()
+        assert "2 executed" in cold.err
+        assert main([*self.FIG2, *cache]) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "[sweep: 2 points, 2 cached, 0 executed, jobs=1]" in warm.err
+
+    def test_claims_accepts_jobs(self, capsys):
+        assert main(["claims", "--load", "0.5", "--jobs", "2", *FAST]) == 0
+        captured = capsys.readouterr()
+        assert "relative to Ideal" in captured.out
+        assert "4 points" in captured.err
+
+    def test_replicate_jobs_matches_serial(self, capsys):
+        rep = ["replicate", "--load", "0.5", "--seeds", "1", "2", *FAST]
+        assert main([*rep, "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main([*rep, "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial

@@ -37,8 +37,8 @@ class TestSweep:
         assert set(results) == {(a, l) for a in ARCHS for l in LOADS}
 
     def test_architectures_differ(self, results):
-        ideal = results[("ideal", 0.5)].collector.get("control").packet_latency.mean
-        trad = results[("traditional-2vc", 0.5)].collector.get("control").packet_latency.mean
+        ideal = results[("ideal", 0.5)].get("control").packet_latency.mean
+        trad = results[("traditional-2vc", 0.5)].get("control").packet_latency.mean
         assert ideal != trad
 
 

@@ -44,7 +44,7 @@ def full_load_results():
 
 
 def control_mean(results, arch):
-    return results[(arch, 1.0)].collector.get("control").message_latency.mean
+    return results[(arch, 1.0)].get("control").message_latency.mean
 
 
 class TestFigure2Control:
@@ -75,11 +75,11 @@ class TestFigure2Control:
         """'Maximum latency values are almost the same for Ideal and
         Advanced' -- compare 99th percentiles."""
         ideal = (
-            full_load_results[("ideal", 1.0)].collector.get("control")
+            full_load_results[("ideal", 1.0)].get("control")
             .message_cdf().quantile(0.99)
         )
         advanced = (
-            full_load_results[("advanced-2vc", 1.0)].collector.get("control")
+            full_load_results[("advanced-2vc", 1.0)].get("control")
             .message_cdf().quantile(0.99)
         )
         assert advanced <= ideal * 1.25
@@ -88,7 +88,7 @@ class TestFigure2Control:
 class TestFigure3Video:
     @pytest.mark.parametrize("arch", ["ideal", "simple-2vc", "advanced-2vc"])
     def test_frame_latency_pinned_at_target(self, full_load_results, arch):
-        stats = full_load_results[(arch, 1.0)].collector.get("multimedia")
+        stats = full_load_results[(arch, 1.0)].get("multimedia")
         assert stats.message_latency.mean == pytest.approx(TARGET_NS, rel=0.15)
 
     @pytest.mark.parametrize("arch", ["ideal", "advanced-2vc"])
@@ -98,7 +98,7 @@ class TestFigure3Video:
         of microseconds, independent of the video time scale), so at this
         compressed scale we assert the same absolute band the paper's
         claim implies: nearly all frames within target +/- ~150 us."""
-        cdf = full_load_results[(arch, 1.0)].collector.get("multimedia").message_cdf()
+        cdf = full_load_results[(arch, 1.0)].get("multimedia").message_cdf()
         slack = 150 * units.US
         within = cdf.prob_leq(TARGET_NS + slack) - cdf.prob_leq(TARGET_NS - slack)
         assert within > 0.95
@@ -111,12 +111,12 @@ class TestFigure3Video:
         and load: its spread is much wider than the EDF architectures'."""
         spread = {}
         for arch in ("traditional-2vc", "advanced-2vc"):
-            cdf = full_load_results[(arch, 1.0)].collector.get("multimedia").message_cdf()
+            cdf = full_load_results[(arch, 1.0)].get("multimedia").message_cdf()
             spread[arch] = (cdf.quantile(0.95) - cdf.quantile(0.05)) / TARGET_NS
         assert spread["traditional-2vc"] > 2 * spread["advanced-2vc"]
 
     def test_edf_jitter_small(self, full_load_results):
-        jitter = full_load_results[("advanced-2vc", 1.0)].collector.get("multimedia").jitter
+        jitter = full_load_results[("advanced-2vc", 1.0)].get("multimedia").jitter
         assert jitter.mean < 0.2 * TARGET_NS
 
 

@@ -1,0 +1,10 @@
+"""Hot-path module calling a cache-writing helper that merely *looks*
+like campaign-execution code (lives outside exec/)."""
+
+from results import persist_pop
+
+
+def pop(queue):
+    item = queue[0]
+    persist_pop(item)
+    return item

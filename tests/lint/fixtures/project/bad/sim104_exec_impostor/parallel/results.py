@@ -1,0 +1,8 @@
+"""Campaign-runner look-alike that is NOT under an exec/ directory: its
+file I/O must still be flagged when reached from the hot path."""
+
+
+def persist_pop(item):
+    with open("results.json", "a") as fp:
+        fp.write(str(item))
+    return item

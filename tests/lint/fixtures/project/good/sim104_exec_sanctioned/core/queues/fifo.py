@@ -1,0 +1,9 @@
+"""Hot-path module calling the sanctioned exec/ campaign-runner helper."""
+
+from results import persist_pop
+
+
+def pop(queue):
+    item = queue[0]
+    persist_pop(item)
+    return item

@@ -1,0 +1,8 @@
+"""Campaign-execution module (under exec/): sanctioned for file I/O --
+writing result-cache entries between simulations is its job."""
+
+
+def persist_pop(item):
+    with open("results.json", "a") as fp:
+        fp.write(str(item))
+    return item
