@@ -209,9 +209,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_p.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; sarif emits SARIF 2.1.0 for "
+        "code-scanning dashboards)",
     )
     lint_p.add_argument(
         "--select",
@@ -240,6 +241,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RULE",
         help="print a rule's description, rationale, and a minimal "
         "bad/good example, then exit (e.g. --explain SIM101)",
+    )
+    lint_p.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply the machine-applicable fixes some findings carry "
+        "(lift submitted lambdas, hash() -> stable_hash()), then re-lint",
+    )
+    lint_p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="with --fix: print the unified diffs instead of writing files",
+    )
+    lint_p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="suppress (but count) the findings recorded in FILE; the "
+        "gate fails only on findings not in the baseline",
+    )
+    lint_p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="snapshot the current findings into the baseline file "
+        "(--baseline FILE, default lint-baseline.json) and exit 0",
     )
     return parser
 
@@ -592,30 +617,80 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 print(f"{rule.id}  allow-{rule.name:<28} {rule.description}")
         return 0
     select = args.select.split(",") if args.select else None
+
+    def run_lint():
+        if args.project:
+            return lint_project(args.paths, cache_dir=args.cache_dir, select=select)
+        return lint_paths(args.paths, select=select), None
+
     cache_stats = None
     try:
-        if args.project:
-            violations, cache_stats = lint_project(
-                args.paths, cache_dir=args.cache_dir, select=select
-            )
-        else:
-            violations = lint_paths(args.paths, select=select)
+        violations, cache_stats = run_lint()
+
+        fix_report = None
+        if args.fix:
+            from repro.lint import apply_fixes
+
+            fix_report = apply_fixes(violations, dry_run=args.dry_run)
+            if fix_report.files_changed and not args.dry_run:
+                # The gate and the output must describe the *fixed* tree.
+                violations, cache_stats = run_lint()
     except (FileNotFoundError, KeyError) as exc:
         print(f"repro-qos lint: {exc}", file=sys.stderr)
         return 2
-    if args.format == "json":
+
+    baselined = []
+    if args.update_baseline:
+        from repro.lint import Baseline
+
+        baseline_path = args.baseline or "lint-baseline.json"
+        Baseline.from_violations(violations).save(baseline_path)
+        print(
+            f"repro-qos lint: baselined {len(violations)} finding(s) "
+            f"into {baseline_path}",
+            file=sys.stderr,
+        )
+        violations, baselined = [], violations
+    elif args.baseline:
+        from repro.lint import Baseline
+
+        baseline = Baseline.load(args.baseline)
+        violations, baselined = baseline.partition(violations)
+
+    if args.format == "sarif":
+        from repro.lint import to_sarif
+
+        print(json.dumps(to_sarif(violations, suppressed=baselined), indent=2))
+    elif args.format == "json":
         payload = {
             "violations": [v.to_dict() for v in violations],
             "count": len(violations),
         }
+        if args.baseline or args.update_baseline:
+            payload["baselined"] = len(baselined)
+        if fix_report is not None:
+            payload["fixes"] = fix_report.to_dict()
         if cache_stats is not None:
             payload["cache"] = cache_stats
         print(json.dumps(payload, indent=2))
     else:
+        if fix_report is not None:
+            if args.dry_run:
+                for path in fix_report.files_changed:
+                    print(fix_report.diffs[path], end="")
+            for note in fix_report.notes:
+                verb = "would fix" if args.dry_run else "fixed"
+                print(f"{verb} {note}", file=sys.stderr)
         for violation in violations:
             print(violation.format())
         if violations:
-            print(f"\n{len(violations)} violation(s) found")
+            suffix = f" ({len(baselined)} baselined)" if baselined else ""
+            print(f"\n{len(violations)} violation(s) found{suffix}")
+        elif baselined:
+            print(
+                f"no new violations ({len(baselined)} baselined)",
+                file=sys.stderr,
+            )
         if cache_stats is not None:
             print(
                 f"[project: {cache_stats['files']} files, "

@@ -14,6 +14,7 @@ from repro.exec.digest import (
     canonical_config_dict,
     config_digest,
     config_from_dict,
+    stable_hash,
 )
 from repro.exec.executor import SweepExecutor, SweepTaskError
 from repro.exec.summary import (
@@ -42,5 +43,6 @@ __all__ = [
     "downsample_sorted",
     "ensure_summary",
     "execute_config",
+    "stable_hash",
     "summarize_run",
 ]

@@ -35,6 +35,7 @@ __all__ = [
     "canonical_config_dict",
     "config_digest",
     "config_from_dict",
+    "stable_hash",
 ]
 
 #: Bump when the RunSummary serialization format changes; part of every
@@ -92,6 +93,33 @@ def config_from_dict(doc: Dict[str, Any]) -> ExperimentConfig:
         params=params,
         mix=mix,
     )
+
+
+def stable_hash(value: Any) -> int:
+    """A drop-in for :func:`hash` that is identical in every process.
+
+    Builtin ``hash()`` on str/bytes is salted per process by
+    ``PYTHONHASHSEED``, so anything derived from it (cache keys, bucket
+    assignments, tie-breaks) silently differs between pool workers.
+    This helper hashes the value's *content*: str/bytes directly,
+    anything else through the same canonical JSON rendering the config
+    digest uses -- so two equal values give the same 64-bit integer on
+    every worker, every run, every platform.
+
+    >>> stable_hash("advanced-2vc")
+    5507327187000418832
+    >>> stable_hash((1, 2, 3)) == stable_hash([1, 2, 3])
+    True
+    """
+    if isinstance(value, bytes):
+        blob = value
+    elif isinstance(value, str):
+        blob = value.encode("utf-8")
+    else:
+        blob = json.dumps(
+            _jsonify(value), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
 
 
 def config_digest(config: ExperimentConfig, **extras: Any) -> str:

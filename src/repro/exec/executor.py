@@ -231,8 +231,13 @@ class SweepExecutor:
         stored: set = set()
         pool = ProcessPoolExecutor(max_workers=max_workers)
         try:
+            # `self.worker` looks like a bound-method submission but is a
+            # plain module-level function stored on the instance
+            # (execute_config by default; the constructor documents the
+            # picklability requirement for overrides), so only the
+            # function reference pickles, never `self`.
             futures: List[Future] = [
-                pool.submit(self.worker, configs[indices[0]], **kwargs)
+                pool.submit(self.worker, configs[indices[0]], **kwargs)  # simlint: allow-unpicklable-worker
                 for _, indices in units
             ]
             position: Dict[Future, int] = {

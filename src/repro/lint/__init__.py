@@ -32,7 +32,25 @@ SIM101    unit-dimension               mixing ns/us/bytes quantities
 SIM102    nondeterministic-iteration   set iteration reaching the engine
 SIM103    dead-export                  ``__all__`` entries imported nowhere
 SIM104    hot-path-purity              I/O on the engine/switch/queue path
+SIM201    unpicklable-worker           lambdas/closures/bound methods
+                                       submitted to a process pool
+SIM202    shared-mutable-global        module globals mutated from
+                                       worker-reachable code
+SIM203    process-varying-value        hash()/pid/wall-clock reaching
+                                       digest/cache/summary dataflow
+SIM204    non-atomic-shared-write      worker file writes without
+                                       write-temp-then-``os.replace``
+SIM205    worker-env-mutation          ``os.environ`` writes in workers
 ========  ===========================  ====================================
+
+The SIM2xx rules rest on the worker-reachability closure of
+:mod:`repro.lint.parallel`.  Some findings carry machine-applicable
+fixes: ``repro-qos lint --fix`` applies them (``--fix --dry-run`` shows
+the diffs), and ``--baseline lint-baseline.json`` /
+``--update-baseline`` suppress pre-existing findings so the gate fails
+only on regressions (:mod:`repro.lint.fixes`,
+:mod:`repro.lint.baseline`).  ``--format sarif`` renders findings for
+GitHub code scanning (:mod:`repro.lint.sarif`).
 
 A violation is suppressed by putting ``# simlint: allow-<pragma-name>``
 (or ``allow-<lowercase-id>``, e.g. ``allow-sim101``) on the offending
@@ -48,6 +66,8 @@ Run it as ``repro-qos lint [--project] [paths...]`` or programmatically::
 
 from __future__ import annotations
 
+from repro.lint.baseline import Baseline, fingerprint
+from repro.lint.fixes import FixReport, apply_fixes
 from repro.lint.pragmas import Pragma, parse_pragmas
 from repro.lint.project_rules import PROJECT_RULES, ProjectRule, register_project_rule
 from repro.lint.rules import RULES, Rule, register_rule
@@ -58,15 +78,20 @@ from repro.lint.runner import (
     lint_project,
     lint_source,
 )
+from repro.lint.sarif import to_sarif
 from repro.lint.violations import Violation
 
 __all__ = [
+    "Baseline",
+    "FixReport",
     "PROJECT_RULES",
     "Pragma",
     "ProjectRule",
     "RULES",
     "Rule",
     "Violation",
+    "apply_fixes",
+    "fingerprint",
     "iter_python_files",
     "lint_file",
     "lint_paths",
@@ -75,4 +100,5 @@ __all__ = [
     "parse_pragmas",
     "register_project_rule",
     "register_rule",
+    "to_sarif",
 ]

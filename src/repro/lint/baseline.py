@@ -1,0 +1,123 @@
+"""Checked-in finding baseline: adopt new rules without a flag day.
+
+A new rule landing on an old tree usually means a pile of pre-existing
+findings nobody can fix in the same change.  The baseline workflow makes
+adoption incremental while keeping the gate strict for *new* code:
+
+- ``repro-qos lint --update-baseline`` snapshots today's findings into
+  ``lint-baseline.json`` (checked in);
+- ``repro-qos lint --baseline lint-baseline.json`` suppresses exactly
+  those findings -- they are still counted and rendered as suppressed in
+  SARIF -- and fails only on findings *not* in the file;
+- fixing a baselined finding and re-running ``--update-baseline``
+  shrinks the file toward the goal state: empty.
+
+Findings are matched by :func:`fingerprint` -- a hash of ``(path, rule
+id, message)`` that deliberately excludes line/column, so unrelated
+edits shifting a finding down the file do not un-baseline it.  The cost
+is that two *identical* findings in one file share a fingerprint; they
+baseline together, which is the conservative direction (suppressing,
+never gating) only for pre-existing duplicates of an accepted finding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Tuple, Union
+
+from repro.lint.violations import Violation
+
+__all__ = ["Baseline", "fingerprint"]
+
+PathLike = Union[str, Path]
+
+#: Bump when the baseline file format changes (old files read as empty).
+BASELINE_SCHEMA_VERSION = 1
+
+
+def fingerprint(violation: Violation) -> str:
+    """Line-drift-tolerant identity of one finding."""
+    data = f"{violation.path}\x00{violation.rule_id}\x00{violation.message}"
+    return hashlib.sha256(data.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """The accepted-findings set, keyed by fingerprint."""
+
+    #: fingerprint -> context ({"fingerprint", "path", "rule",
+    #: "message"}), kept so the checked-in file is reviewable.
+    findings: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "Baseline":
+        """Read a baseline file; missing/corrupt/old-schema reads as
+        empty (strictest gate) rather than erroring the lint run."""
+        file_path = Path(path)
+        if not file_path.is_file():
+            return cls()
+        try:
+            payload = json.loads(file_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cls()
+        if payload.get("schema") != BASELINE_SCHEMA_VERSION:
+            return cls()
+        findings: Dict[str, Dict[str, Any]] = {}
+        for item in payload.get("findings", ()):
+            if isinstance(item, dict) and isinstance(
+                item.get("fingerprint"), str
+            ):
+                findings[item["fingerprint"]] = item
+        return cls(findings=findings)
+
+    def save(self, path: PathLike) -> None:
+        file_path = Path(path)
+        payload = {
+            "schema": BASELINE_SCHEMA_VERSION,
+            "findings": [
+                self.findings[key] for key in sorted(self.findings)
+            ],
+        }
+        file_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = file_path.with_suffix(file_path.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        tmp.replace(file_path)
+
+    @classmethod
+    def from_violations(cls, violations: Iterable[Violation]) -> "Baseline":
+        baseline = cls()
+        for violation in sorted(violations):
+            key = fingerprint(violation)
+            baseline.findings.setdefault(
+                key,
+                {
+                    "fingerprint": key,
+                    "path": violation.path,
+                    "rule": violation.rule_id,
+                    "message": violation.message,
+                },
+            )
+        return baseline
+
+    def partition(
+        self, violations: Iterable[Violation]
+    ) -> Tuple[List[Violation], List[Violation]]:
+        """``(new, baselined)``: findings the gate fails on vs. findings
+        suppressed-but-counted because this file accepts them."""
+        new: List[Violation] = []
+        baselined: List[Violation] = []
+        for violation in violations:
+            if fingerprint(violation) in self.findings:
+                baselined.append(violation)
+            else:
+                new.append(violation)
+        return new, baselined

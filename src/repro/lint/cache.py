@@ -12,6 +12,12 @@ whose bytes changed.
 Entries are additionally keyed by a schema version: bumping
 :data:`CACHE_SCHEMA_VERSION` when the summary format changes makes stale
 caches self-invalidate instead of crashing the loader.
+
+The per-file key also folds in :func:`rules_digest` -- a hash over every
+registered rule id.  Cached entries embed the *findings* of the rule set
+that produced them; without the digest, registering a new rule (or
+selecting a plugin that registers one) would warm-replay stale per-file
+results and silently skip the new checks.
 """
 
 from __future__ import annotations
@@ -21,10 +27,12 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
-__all__ = ["SummaryCache", "hash_source"]
+__all__ = ["SummaryCache", "hash_source", "rules_digest"]
 
 #: Bump when the ModuleSummary serialisation format changes.
-CACHE_SCHEMA_VERSION = 1
+#: 2: SIM2xx fields (submissions, global mutations, varying values,
+#: file writes, env writes) + mutable_globals on the summary.
+CACHE_SCHEMA_VERSION = 2
 
 #: File name used inside the cache directory.
 CACHE_FILE_NAME = "projectmodel.json"
@@ -35,6 +43,22 @@ JsonDict = Dict[str, Any]
 def hash_source(source: str) -> str:
     """Content hash used as the cache key for one file."""
     return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def rules_digest() -> str:
+    """Short digest over every registered rule id (per-file + project).
+
+    Folded into each cache key by the runner, so a cache written under a
+    smaller rule set misses -- and the file is re-linted -- the moment a
+    new rule registers, instead of replaying results that never saw it.
+    Imports are deferred: the registries import the violation/dataflow
+    stack, and this module must stay leaf-light.
+    """
+    from repro.lint.project_rules import PROJECT_RULES
+    from repro.lint.rules import RULES
+
+    ids = sorted(set(RULES) | set(PROJECT_RULES))
+    return hashlib.sha256("\x00".join(ids).encode("utf-8")).hexdigest()[:16]
 
 
 class SummaryCache:

@@ -20,16 +20,26 @@ inference that:
 The per-function walk also records every call site (with the inferred
 dimension of each argument -- the raw material for the interprocedural
 SIM101 check and for the call graph), every iteration over an unordered
-``set`` (SIM102), and every I/O or logging call (SIM104).  Everything it
-produces is JSON-serialisable so the project cache can replay it without
-re-parsing the file.
+``set`` (SIM102), and every I/O or logging call (SIM104).  For the
+parallel-safety pass (SIM201-SIM205, :mod:`repro.lint.parallel`) it
+additionally records every **pool submission** (a callable handed to a
+``*pool*``/``*executor*`` receiver's ``submit``/``map``, or the
+``worker=`` hook of ``SweepExecutor``), every **module-global mutation**
+(subscript assignment, mutating method call, ``global``-rebind),
+**process-varying calls** (``hash()``, ``id()``, ``os.getpid()``,
+wall-clock reads) and the arguments they taint, **file writes** (and
+whether the function pairs them with an atomic ``replace``/``rename``),
+and ``os.environ`` mutations.  Everything it produces is
+JSON-serialisable so the project cache can replay it without re-parsing
+the file.
 """
 
 from __future__ import annotations
 
 import ast
+import builtins
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 __all__ = [
     "FunctionAnalyzer",
@@ -77,6 +87,64 @@ _LOG_METHODS = frozenset(
     {"debug", "info", "warning", "warn", "error", "critical", "exception", "log"}
 )
 _LOG_RECEIVERS = frozenset({"log", "logger", "logging"})
+
+#: Method names that hand a callable to a process/thread pool.  Any
+#: ``.submit(...)``/``.map(...)`` counts only when the receiver *names*
+#: a pool (``pool.submit``, ``self._executor.map``): this project's own
+#: ``Fabric.submit`` is a packet-injection method, so attribute name
+#: alone would drown the signal in false positives.
+_POOL_SUBMIT_ATTRS = frozenset({"submit", "apply_async"})
+_POOL_MAP_ATTRS = frozenset(
+    {"map", "imap", "imap_unordered", "starmap", "map_async", "starmap_async"}
+)
+_POOL_RECEIVER_HINTS = ("pool", "executor")
+
+#: Calls whose value differs between processes (or runs): the SIM203
+#: taint sources.  Keyed by the dotted name as written *or* as resolved
+#: through the import bindings.
+_VARYING_FUNCS: Mapping[str, str] = {
+    "hash": "hash() (salted per process via PYTHONHASHSEED)",
+    "id": "id() (an address, unique per process)",
+    "os.getpid": "os.getpid()",
+    "os.urandom": "os.urandom()",
+    "time.time": "time.time()",
+    "time.time_ns": "time.time_ns()",
+    "time.perf_counter": "time.perf_counter()",
+    "time.perf_counter_ns": "time.perf_counter_ns()",
+    "time.monotonic": "time.monotonic()",
+    "time.monotonic_ns": "time.monotonic_ns()",
+    "uuid.uuid4": "uuid.uuid4()",
+}
+
+#: Method names that mutate their receiver in place (dict/list/set
+#: surface plus the get-or-create verbs of registry-style objects such
+#: as ``MetricsRegistry``).
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "counter",
+        "gauge",
+        "histogram",
+        "get_or_create",
+        "register",
+    }
+)
+
+#: ``os.environ`` methods that write the process environment.
+_ENVIRON_WRITE_METHODS = frozenset({"update", "setdefault", "pop", "popitem", "clear"})
+
+#: Rename calls that make a preceding temp-file write atomic.
+_ATOMIC_RENAME_ATTRS = frozenset({"replace", "rename", "renames"})
 
 
 def classify_name(identifier: str) -> Optional[Dim]:
@@ -166,6 +234,27 @@ class FunctionFact:
     io_calls: List[Tuple[int, int, str]] = field(default_factory=list)
     #: (line, col, detail) for additive mixing of incompatible dims.
     mixes: List[Tuple[int, int, str]] = field(default_factory=list)
+    #: One record per pool submission site (SIM201 + reachability roots):
+    #: ``{"line", "col", "pool", "kind", "callee", "origin", "lambda"}``.
+    submissions: List[Dict[str, Any]] = field(default_factory=list)
+    #: (line, col, origin, kind, detail) per module-global mutation,
+    #: ``kind`` in {"rebind", "subscript", "method"} (SIM202).
+    global_mutations: List[Tuple[int, int, str, str, str]] = field(
+        default_factory=list
+    )
+    #: One record per process-varying call site (SIM203): ``{"line",
+    #: "col", "end_line", "end_col", "func", "arg_src"}``.
+    varying_calls: List[Dict[str, Any]] = field(default_factory=list)
+    #: One record per call argument tainted by a process-varying value
+    #: (SIM203): ``{"line", "col", "callee", "origin", "hits"}``.
+    varying_args: List[Dict[str, Any]] = field(default_factory=list)
+    #: (line, col, detail) per file-write call (SIM204).
+    file_writes: List[Tuple[int, int, str]] = field(default_factory=list)
+    #: Count of atomic ``replace``/``rename`` calls in this function --
+    #: a write paired with one follows the temp-then-rename idiom.
+    atomic_renames: int = 0
+    #: (line, col, detail) per ``os.environ`` mutation (SIM205).
+    env_writes: List[Tuple[int, int, str]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -177,6 +266,13 @@ class FunctionFact:
             "set_iters": [list(item) for item in self.set_iters],
             "io_calls": [list(item) for item in self.io_calls],
             "mixes": [list(item) for item in self.mixes],
+            "submissions": self.submissions,
+            "global_mutations": [list(item) for item in self.global_mutations],
+            "varying_calls": self.varying_calls,
+            "varying_args": self.varying_args,
+            "file_writes": [list(item) for item in self.file_writes],
+            "atomic_renames": self.atomic_renames,
+            "env_writes": [list(item) for item in self.env_writes],
         }
 
     @classmethod
@@ -190,6 +286,20 @@ class FunctionFact:
             set_iters=[(i[0], i[1], i[2]) for i in payload["set_iters"]],
             io_calls=[(i[0], i[1], i[2]) for i in payload["io_calls"]],
             mixes=[(i[0], i[1], i[2]) for i in payload["mixes"]],
+            submissions=list(payload.get("submissions", ())),
+            global_mutations=[
+                (i[0], i[1], i[2], i[3], i[4])
+                for i in payload.get("global_mutations", ())
+            ],
+            varying_calls=list(payload.get("varying_calls", ())),
+            varying_args=list(payload.get("varying_args", ())),
+            file_writes=[
+                (i[0], i[1], i[2]) for i in payload.get("file_writes", ())
+            ],
+            atomic_renames=payload.get("atomic_renames", 0),
+            env_writes=[
+                (i[0], i[1], i[2]) for i in payload.get("env_writes", ())
+            ],
         )
 
 
@@ -208,15 +318,30 @@ class FunctionAnalyzer:
         module_name: str,
         module_symbols: Iterable[str],
         class_name: Optional[str] = None,
+        source: Optional[str] = None,
     ) -> None:
         self.bindings = bindings
         self.module_name = module_name
         self.module_symbols = frozenset(module_symbols)
         self.class_name = class_name
+        #: Full module source, for :func:`ast.get_source_segment` (the
+        #: fix engine needs verbatim expression text).  Optional so
+        #: callers replaying from cache need not keep sources around.
+        self.source = source
         self.env: Dict[str, Optional[Dim]] = {}
         self.set_vars: Dict[str, bool] = {}
         self.fact: Optional[FunctionFact] = None
         self._in_raise = 0
+        #: Names bound locally anywhere in the analyzed body (assignment
+        #: makes a name local for the whole scope, so this is pre-scanned
+        #: in :meth:`run` rather than accumulated during the walk).
+        self.local_names: Set[str] = set()
+        #: Names of functions *defined* inside the analyzed body.
+        self.local_defs: Set[str] = set()
+        #: Locals assigned from a process-varying value (SIM203 taint).
+        self.varying_vars: Set[str] = set()
+        #: Names the body re-declares with ``global``.
+        self.declared_globals: Set[str] = set()
 
     # -- origin resolution -------------------------------------------------
 
@@ -406,6 +531,7 @@ class FunctionAnalyzer:
                 )
             )
             self._check_io_call(node, raw, resolved, attr)
+            self._check_parallel_call(node, raw, resolved, attr)
 
         # Return dimension of the call, for flow through assignments.
         if resolved in _NS_CONSTRUCTORS:
@@ -442,6 +568,336 @@ class FunctionAnalyzer:
                 detail = f"calls `{raw}()` (logging; builds its message eagerly)"
         if detail is not None:
             self.fact.io_calls.append((node.lineno, node.col_offset, detail))
+
+    # -- SIM201-SIM205 raw material ----------------------------------------
+
+    def _global_mutation_origin(
+        self, node: ast.AST
+    ) -> Optional[Tuple[str, str]]:
+        """``(absolute origin, name as written)`` when ``node`` is a
+        Name/Attribute chain rooted at a module-level binding that is
+        *not* shadowed by a local, else ``None``."""
+        dotted = dotted_name(node)
+        if not dotted:
+            return None
+        head = dotted.split(".", 1)[0]
+        if head == "self" or head in builtins.__dict__:
+            return None
+        if head in self.local_names:
+            return None
+        origin = self.resolve_origin(node)
+        if origin is None and head in self.declared_globals:
+            rest = dotted.partition(".")[2]
+            origin = f"{self.module_name}.{head}"
+            if rest:
+                origin = f"{origin}.{rest}"
+        if origin is None:
+            return None
+        return origin, dotted
+
+    def _lambda_payload(self, node: ast.Lambda) -> Dict[str, Any]:
+        """Everything the lift-lambda fix needs: params, verbatim body
+        text, free variables (which veto the lift), and the exact span."""
+        params = [
+            arg.arg
+            for arg in (
+                *node.args.posonlyargs,
+                *node.args.args,
+                *node.args.kwonlyargs,
+            )
+        ]
+        body_src: Optional[str] = None
+        if self.source is not None:
+            body_src = ast.get_source_segment(self.source, node.body)
+        known = (
+            set(params)
+            | set(self.module_symbols)
+            | set(self.bindings)
+            | set(dir(builtins))
+        )
+        free = sorted(
+            {
+                sub.id
+                for sub in ast.walk(node.body)
+                if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)
+            }
+            - known
+        )
+        has_defaults = bool(node.args.defaults) or any(
+            default is not None for default in node.args.kw_defaults
+        )
+        return {
+            "params": params,
+            "body_src": body_src,
+            "free_vars": free,
+            "line": node.lineno,
+            "col": node.col_offset,
+            "end_line": node.end_lineno if node.end_lineno else node.lineno,
+            "end_col": (
+                node.end_col_offset
+                if node.end_col_offset is not None
+                else node.col_offset
+            ),
+            "has_varargs": bool(node.args.vararg or node.args.kwarg),
+            "has_defaults": has_defaults,
+        }
+
+    def _record_submission(
+        self, call: ast.Call, payload: ast.expr, pool: str, how: str
+    ) -> None:
+        """Classify the callable handed to a pool; SIM201's raw material
+        and the seed of the worker-reachability roots."""
+        if self.fact is None:
+            return
+        record: Dict[str, Any] = {
+            "line": call.lineno,
+            "col": call.col_offset,
+            "pool": pool,
+            "how": how,
+            "origin": None,
+            "lambda": None,
+        }
+        if isinstance(payload, ast.Lambda):
+            record["kind"] = "lambda"
+            record["callee"] = "<lambda>"
+            record["lambda"] = self._lambda_payload(payload)
+        else:
+            dotted = dotted_name(payload)
+            origin = self.resolve_origin(payload)
+            record["callee"] = dotted
+            record["origin"] = origin
+            if not dotted:
+                record["kind"] = "opaque"
+            elif dotted.startswith("self."):
+                record["kind"] = "bound-method"
+            elif "." not in dotted and dotted in self.local_defs:
+                record["kind"] = "local-function"
+            elif "." not in dotted and dotted in self.local_names:
+                record["kind"] = "variable"
+            else:
+                record["kind"] = "named"
+        self.fact.submissions.append(record)
+
+    def _varying_hits(self, node: ast.expr) -> List[str]:
+        """Human-readable descriptions of every process-varying value
+        inside ``node`` (direct calls plus tainted locals)."""
+        hits: List[str] = []
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                raw = dotted_name(sub.func)
+                key: Optional[str] = raw if raw in _VARYING_FUNCS else None
+                if key is None:
+                    resolved = self.resolve_origin(sub.func)
+                    if resolved in _VARYING_FUNCS:
+                        key = resolved
+                if key is not None:
+                    hits.append(_VARYING_FUNCS[key])
+            elif isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                if sub.id in self.varying_vars:
+                    hits.append(
+                        f"`{sub.id}` (assigned from a process-varying value)"
+                    )
+        return hits
+
+    def _check_parallel_call(
+        self, node: ast.Call, raw: str, resolved: Optional[str], attr: str
+    ) -> None:
+        """Record pool submissions, global mutations, varying values,
+        file writes, and environment writes at one call site."""
+        if self.fact is None:
+            return
+
+        # Pool submissions: `<pool-ish>.submit(fn, ...)` / `.map(fn, it)`.
+        receiver = raw.rsplit(".", 1)[0] if "." in raw else ""
+        receiver_last = receiver.rsplit(".", 1)[-1].lower()
+        if (
+            receiver
+            and any(hint in receiver_last for hint in _POOL_RECEIVER_HINTS)
+            and attr in (_POOL_SUBMIT_ATTRS | _POOL_MAP_ATTRS)
+            and node.args
+        ):
+            payload = node.args[0]
+            if not isinstance(payload, ast.Starred):
+                self._record_submission(node, payload, pool=receiver, how=attr)
+        # The executor's own hook: SweepExecutor(worker=fn).
+        callee_tail = (resolved or raw).rsplit(".", 1)[-1]
+        if callee_tail == "SweepExecutor":
+            for keyword in node.keywords:
+                if keyword.arg == "worker":
+                    self._record_submission(
+                        node, keyword.value, pool=raw or callee_tail, how="worker="
+                    )
+
+        # Process-varying calls (SIM203 sources).
+        varying_key: Optional[str] = raw if raw in _VARYING_FUNCS else None
+        if varying_key is None and resolved in _VARYING_FUNCS:
+            varying_key = resolved
+        if varying_key is not None:
+            arg_src: Optional[str] = None
+            call_src: Optional[str] = None
+            if self.source is not None:
+                if len(node.args) == 1 and not isinstance(
+                    node.args[0], ast.Starred
+                ):
+                    arg_src = ast.get_source_segment(self.source, node.args[0])
+                call_src = ast.get_source_segment(self.source, node)
+            self.fact.varying_calls.append(
+                {
+                    "line": node.lineno,
+                    "col": node.col_offset,
+                    "end_line": (
+                        node.end_lineno if node.end_lineno else node.lineno
+                    ),
+                    "end_col": (
+                        node.end_col_offset
+                        if node.end_col_offset is not None
+                        else node.col_offset
+                    ),
+                    "func": varying_key,
+                    "detail": _VARYING_FUNCS[varying_key],
+                    "nargs": len(node.args),
+                    "arg_src": arg_src,
+                    "call_src": call_src,
+                }
+            )
+        else:
+            # Taint flowing *into* this call's arguments (SIM203 sinks).
+            hits: List[str] = []
+            for arg in node.args:
+                target = arg.value if isinstance(arg, ast.Starred) else arg
+                hits.extend(self._varying_hits(target))
+            for keyword in node.keywords:
+                hits.extend(self._varying_hits(keyword.value))
+            if hits:
+                self.fact.varying_args.append(
+                    {
+                        "line": node.lineno,
+                        "col": node.col_offset,
+                        "callee": raw,
+                        "origin": resolved,
+                        "attr": attr,
+                        "hits": sorted(set(hits)),
+                    }
+                )
+
+        # Environment writes (SIM205).
+        if isinstance(node.func, ast.Attribute):
+            receiver_origin = self.resolve_origin(node.func.value)
+        else:
+            receiver_origin = None
+        if attr in _ENVIRON_WRITE_METHODS and receiver_origin == "os.environ":
+            self.fact.env_writes.append(
+                (node.lineno, node.col_offset, f"`os.environ.{attr}(...)`")
+            )
+        elif resolved in ("os.putenv", "os.unsetenv"):
+            self.fact.env_writes.append(
+                (node.lineno, node.col_offset, f"`{resolved}(...)`")
+            )
+        # Mutating method on a module-global receiver (SIM202).
+        elif attr in _MUTATING_METHODS and isinstance(node.func, ast.Attribute):
+            target_global = self._global_mutation_origin(node.func.value)
+            if target_global is not None:
+                origin, written = target_global
+                self.fact.global_mutations.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        origin,
+                        "method",
+                        f"`{written}.{attr}(...)`",
+                    )
+                )
+
+        # File writes and the atomic-rename idiom (SIM204).
+        if raw == "open":
+            mode: Optional[str] = None
+            if (
+                len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+            ):
+                mode = node.args[1].value
+            for keyword in node.keywords:
+                if (
+                    keyword.arg == "mode"
+                    and isinstance(keyword.value, ast.Constant)
+                    and isinstance(keyword.value.value, str)
+                ):
+                    mode = keyword.value.value
+            if mode is not None and any(flag in mode for flag in "wax+"):
+                self.fact.file_writes.append(
+                    (node.lineno, node.col_offset, f"`open(..., {mode!r})`")
+                )
+        elif attr in ("write_text", "write_bytes"):
+            self.fact.file_writes.append(
+                (node.lineno, node.col_offset, f"`.{attr}(...)`")
+            )
+        if attr in _ATOMIC_RENAME_ATTRS:
+            if raw.startswith("os.") or resolved in (
+                "os.replace",
+                "os.rename",
+                "os.renames",
+            ):
+                self.fact.atomic_renames += 1
+            else:
+                # `tmp.replace(path)` / `self.tmp_path.rename(...)`:
+                # receiver *names* a temp/path object.  Bare
+                # `s.replace(old, new)` (str) stays uncounted.
+                if any(
+                    hint in receiver_last for hint in ("tmp", "temp", "path")
+                ):
+                    self.fact.atomic_renames += 1
+
+    def _note_store_target(self, target: ast.expr, stmt: ast.stmt) -> None:
+        """Record global rebinds, global subscript writes, and
+        ``os.environ[...]`` writes hiding in an assignment target."""
+        if self.fact is None:
+            return
+        if isinstance(target, ast.Name):
+            if target.id in self.declared_globals:
+                self.fact.global_mutations.append(
+                    (
+                        stmt.lineno,
+                        stmt.col_offset,
+                        f"{self.module_name}.{target.id}",
+                        "rebind",
+                        f"rebinds module global `{target.id}` "
+                        "(declared `global`)",
+                    )
+                )
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._note_store_target(element, stmt)
+            return
+        if not isinstance(target, ast.Subscript):
+            return
+        base = target.value
+        if self.resolve_origin(base) == "os.environ":
+            self.fact.env_writes.append(
+                (stmt.lineno, stmt.col_offset, "`os.environ[...] = ...`")
+            )
+            return
+        target_global = self._global_mutation_origin(base)
+        if target_global is not None:
+            origin, written = target_global
+            self.fact.global_mutations.append(
+                (
+                    stmt.lineno,
+                    stmt.col_offset,
+                    origin,
+                    "subscript",
+                    f"`{written}[...] = ...`",
+                )
+            )
+
+    def _note_varying_assign(self, value: ast.expr, targets: List[ast.expr]) -> None:
+        """Propagate SIM203 taint through simple assignments."""
+        if not self._varying_hits(value):
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self.varying_vars.add(target.id)
 
     # -- SIM102 raw material -----------------------------------------------
 
@@ -489,6 +945,22 @@ class FunctionAnalyzer:
             dim = classify_name(param)
             if dim is not None:
                 self.env[param] = dim
+        # Pre-scan for scoping: Python makes a name local to the whole
+        # scope on *any* assignment, so mutation/shadow checks below need
+        # the full set up front, not discovery order.
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Global):
+                    self.declared_globals.update(node.names)
+                elif isinstance(node, ast.Name) and isinstance(
+                    node.ctx, (ast.Store, ast.Del)
+                ):
+                    self.local_names.add(node.id)
+                elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self.local_defs.add(node.name)
+                    self.local_names.add(node.name)
+        self.local_names.update(fact.params)
+        self.local_names -= self.declared_globals
         self._visit_block(body)
         return fact
 
@@ -508,7 +980,9 @@ class FunctionAnalyzer:
         if isinstance(stmt, ast.Assign):
             dim = self.infer(stmt.value)
             is_set = self._is_set_expr(stmt.value) is not None
+            self._note_varying_assign(stmt.value, stmt.targets)
             for target in stmt.targets:
+                self._note_store_target(target, stmt)
                 self._assign_target(target, dim, is_set)
         elif isinstance(stmt, ast.AnnAssign):
             if stmt.value is not None:
@@ -524,6 +998,8 @@ class FunctionAnalyzer:
                                 f"`{value_dim}` value",
                             )
                         )
+                self._note_varying_assign(stmt.value, [stmt.target])
+                self._note_store_target(stmt.target, stmt)
                 self._assign_target(
                     stmt.target, value_dim, self._is_set_expr(stmt.value) is not None
                 )
@@ -532,6 +1008,7 @@ class FunctionAnalyzer:
                 stmt.target, (ast.Name, ast.Attribute)
             ) else None
             value_dim = self.infer(stmt.value)
+            self._note_store_target(stmt.target, stmt)
             if isinstance(stmt.op, (ast.Add, ast.Sub)) and not dims_compatible(
                 target_dim, value_dim
             ):

@@ -1,0 +1,242 @@
+"""Machine application of the fixes some violations carry.
+
+A :class:`~repro.lint.violations.Violation` may ship a ``fix`` payload:
+
+.. code-block:: python
+
+    {
+        "kind": "lift-lambda" | "stable-hash" | ...,
+        "path": "pkg/mod.py",          # file the edits apply to
+        "description": "...",          # one line, shown in --fix output
+        "edits": [                     # span replacements, 1-based lines,
+            {"start_line": 3,          # 0-based cols (AST coordinates)
+             "start_col": 17,
+             "end_line": 3,
+             "end_col": 40,
+             "replacement": "_lifted_worker_3"},
+        ],
+        "append": "\\n\\ndef _lifted_worker_3(cfg): ...",   # optional EOF text
+        "ensure_import": "from repro.exec.digest import stable_hash",
+    }
+
+:func:`apply_fixes` groups payloads by file, applies span edits in
+descending source order (so earlier offsets stay valid), appends lifted
+definitions at EOF, inserts any missing import after the last top-level
+import statement, and rewrites the file -- or, under ``dry_run``, only
+renders unified diffs.
+
+**Idempotence is structural, not bookkept**: every fix removes the very
+pattern that made its rule fire (the lambda is gone, ``hash()`` became
+``stable_hash()``), so a second ``--fix`` run finds no fixable
+violations and edits nothing.  Pragma insertion is deliberately *not* a
+fix: silencing a finding is a human judgement, never auto-applied.
+
+Overlapping edits within one file (two fixes touching the same span)
+are resolved conservatively: the earlier-sorted fix wins, the loser is
+counted in ``skipped`` and will be offered again on the next run.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.violations import Violation
+
+__all__ = ["FixReport", "apply_fixes"]
+
+
+@dataclass
+class FixReport:
+    """What one ``--fix`` pass did (or would do, under ``dry_run``)."""
+
+    #: Violations whose fix was applied.
+    applied: int = 0
+    #: Violations carrying a fix that could not be applied (overlap,
+    #: missing file, stale span).
+    skipped: int = 0
+    #: Files rewritten (or that would be, under ``dry_run``), sorted.
+    files_changed: List[str] = field(default_factory=list)
+    #: path -> unified diff of the rewrite.
+    diffs: Dict[str, str] = field(default_factory=dict)
+    #: One line per applied fix: ``path:line: description``.
+    notes: List[str] = field(default_factory=list)
+    dry_run: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "applied": self.applied,
+            "skipped": self.skipped,
+            "files_changed": self.files_changed,
+            "dry_run": self.dry_run,
+            "notes": self.notes,
+        }
+
+
+def _line_starts(text: str) -> List[int]:
+    starts = [0]
+    for index, char in enumerate(text):
+        if char == "\n":
+            starts.append(index + 1)
+    return starts
+
+
+def _span_offsets(
+    text: str, starts: List[int], edit: Dict[str, Any]
+) -> Optional[Tuple[int, int]]:
+    """(start, end) byte offsets of one edit, ``None`` when the span no
+    longer exists in the file (stale fix after an external edit)."""
+    try:
+        start_line = int(edit["start_line"])
+        start_col = int(edit["start_col"])
+        end_line = int(edit["end_line"])
+        end_col = int(edit["end_col"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    if not (1 <= start_line <= len(starts) and 1 <= end_line <= len(starts)):
+        return None
+    start = starts[start_line - 1] + start_col
+    end = starts[end_line - 1] + end_col
+    if not (0 <= start <= end <= len(text)):
+        return None
+    return start, end
+
+
+def _insert_import(text: str, import_line: str) -> str:
+    """``text`` with ``import_line`` added after the last top-level
+    import (or the module docstring, or at the top).  No-op when an
+    identical line is already present."""
+    if any(line.strip() == import_line for line in text.splitlines()):
+        return text
+    try:
+        tree = ast.parse(text)
+    except SyntaxError:
+        return text  # never make a broken file worse
+    insert_after = 0  # line number (1-based) to insert *after*
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            insert_after = stmt.end_lineno or stmt.lineno
+    if insert_after == 0 and tree.body:
+        first = tree.body[0]
+        if (
+            isinstance(first, ast.Expr)
+            and isinstance(first.value, ast.Constant)
+            and isinstance(first.value.value, str)
+        ):
+            insert_after = first.end_lineno or first.lineno
+    lines = text.splitlines(keepends=True)
+    if lines and not lines[-1].endswith("\n"):
+        lines[-1] += "\n"
+    lines.insert(insert_after, import_line + "\n")
+    return "".join(lines)
+
+
+def _apply_to_file(
+    path: str, fixes: Sequence[Tuple[Violation, Dict[str, Any]]], report: FixReport
+) -> Optional[Tuple[str, str]]:
+    """Apply every fix for one file; returns (old_text, new_text) or
+    ``None`` when nothing changed.  Updates the report's counters."""
+    file_path = Path(path)
+    try:
+        original = file_path.read_text(encoding="utf-8")
+    except OSError:
+        report.skipped += len(fixes)
+        return None
+    text = original
+    starts = _line_starts(text)
+
+    # Resolve every span against the *original* text, then apply in
+    # descending offset order so earlier spans stay valid.
+    resolved: List[Tuple[int, int, str, Violation, Dict[str, Any]]] = []
+    for violation, fix in fixes:
+        spans: List[Tuple[int, int, str]] = []
+        usable = True
+        for edit in fix.get("edits", ()):
+            offsets = _span_offsets(text, starts, edit)
+            if offsets is None:
+                usable = False
+                break
+            spans.append(
+                (offsets[0], offsets[1], str(edit.get("replacement", "")))
+            )
+        if not usable:
+            report.skipped += 1
+            continue
+        for start, end, replacement in spans:
+            resolved.append((start, end, replacement, violation, fix))
+
+    resolved.sort(key=lambda item: (item[0], item[1]), reverse=True)
+    applied_fixes: List[Tuple[Violation, Dict[str, Any]]] = []
+    last_applied_start: Optional[int] = None
+    lost: Set[int] = set()
+    for start, end, replacement, violation, fix in resolved:
+        if last_applied_start is not None and end > last_applied_start:
+            lost.add(id(fix))  # overlaps an already-applied edit
+            continue
+        if id(fix) in lost:
+            continue
+        text = text[:start] + replacement + text[end:]
+        last_applied_start = start
+        if (violation, fix) not in applied_fixes:
+            applied_fixes.append((violation, fix))
+    report.skipped += len(lost)
+
+    # EOF appends (lifted definitions), in stable violation order.
+    for violation, fix in reversed(applied_fixes):
+        append = fix.get("append")
+        if append:
+            if not text.endswith("\n"):
+                text += "\n"
+            text += str(append)
+    # Missing imports last, against the fully-edited text.
+    for violation, fix in reversed(applied_fixes):
+        import_line = fix.get("ensure_import")
+        if import_line:
+            text = _insert_import(text, str(import_line))
+
+    for violation, fix in reversed(applied_fixes):
+        report.applied += 1
+        report.notes.append(
+            f"{violation.path}:{violation.line}: "
+            f"{fix.get('description', fix.get('kind', 'fix'))}"
+        )
+    if text == original:
+        return None
+    return original, text
+
+
+def apply_fixes(
+    violations: Iterable[Violation], *, dry_run: bool = False
+) -> FixReport:
+    """Apply (or preview, with ``dry_run``) every machine fix carried by
+    ``violations``.  Violations without a fix are ignored."""
+    report = FixReport(dry_run=dry_run)
+    by_path: Dict[str, List[Tuple[Violation, Dict[str, Any]]]] = {}
+    for violation in sorted(violations):
+        if violation.fix is None:
+            continue
+        path = str(violation.fix.get("path") or violation.path)
+        by_path.setdefault(path, []).append((violation, violation.fix))
+
+    for path in sorted(by_path):
+        result = _apply_to_file(path, by_path[path], report)
+        if result is None:
+            continue
+        original, text = result
+        diff = "".join(
+            difflib.unified_diff(
+                original.splitlines(keepends=True),
+                text.splitlines(keepends=True),
+                fromfile=f"a/{path}",
+                tofile=f"b/{path}",
+            )
+        )
+        report.diffs[path] = diff
+        report.files_changed.append(path)
+        if not dry_run:
+            Path(path).write_text(text, encoding="utf-8")
+    report.files_changed.sort()
+    return report

@@ -19,7 +19,25 @@ SIM103    dead-export                  ``__all__`` entries imported
 SIM104    hot-path-purity              I/O or eager log-string building
                                        in functions reachable from the
                                        engine/switch/queue hot path
+SIM201    unpicklable-worker           lambdas / nested functions / bound
+                                       methods submitted to a process
+                                       pool
+SIM202    shared-mutable-global        module-level dict/list/registry
+                                       mutated from worker-reachable
+                                       code
+SIM203    process-varying-value        ``hash()``/pid/wall-clock values
+                                       flowing into digest/cache/summary
+                                       dataflow
+SIM204    non-atomic-shared-write      worker-reachable file writes
+                                       without write-temp-then-replace
+SIM205    worker-env-mutation          ``os.environ`` writes reachable
+                                       from workers
 ========  ===========================  ====================================
+
+The SIM2xx rules run over the worker-reachability closure computed by
+:mod:`repro.lint.parallel`; some findings carry a machine-applicable
+``fix`` payload that ``repro-qos lint --fix`` consumes
+(:mod:`repro.lint.fixes`).
 
 A finding is suppressed on its line with ``# simlint: allow-<name>`` or
 ``# simlint: allow-sim1xx`` (the lowercase rule id works as a pragma
@@ -28,11 +46,12 @@ alias for every rule).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple, Type
+from typing import Any, Dict, Iterator, Optional, Tuple, Type
 
 from repro.lint.callgraph import CallGraph, Node
 from repro.lint.dataflow import classify_name, dims_compatible
-from repro.lint.projectmodel import ProjectModel
+from repro.lint.parallel import ParallelAnalysis, SubmissionSite, analyze_parallel
+from repro.lint.projectmodel import ModuleSummary, ProjectModel
 from repro.lint.violations import Violation
 
 __all__ = ["PROJECT_RULES", "ProjectRule", "register_project_rule"]
@@ -66,6 +85,7 @@ class ProjectRule:
         col: int,
         message: str,
         provenance: Tuple[str, ...],
+        fix: Optional[Dict[str, Any]] = None,
     ) -> Violation:
         return Violation(
             path=path,
@@ -75,6 +95,7 @@ class ProjectRule:
             rule_name=self.name,
             message=message,
             provenance=tuple(sorted(set(provenance))),
+            fix=fix,
         )
 
 
@@ -375,4 +396,394 @@ class HotPathPurityRule(ProjectRule):
                     f"hot-path impurity in `{node[1]}`: {detail} "
                     f"(reachable from `{root[0]}.{root[1]}`)",
                     (summary.path, root_path),
+                )
+
+
+# ----------------------------------------------------------------------
+# SIM2xx: parallel safety (worker-reachability based)
+# ----------------------------------------------------------------------
+def _reachable_facts(
+    analysis: ParallelAnalysis, graph: CallGraph
+) -> Iterator[Tuple[Node, ModuleSummary, Any, str]]:
+    """Worker-reachable (node, summary, fact, witness_path) quadruples,
+    in deterministic node order."""
+    for node in sorted(analysis.reachable):
+        summary = graph.summary_of(node)
+        if summary is None:
+            continue
+        fact = summary.functions.get(node[1])
+        if fact is None:
+            continue
+        witness = analysis.reachable[node]
+        witness_summary = graph.summary_of(witness)
+        witness_path = witness_summary.path if witness_summary else summary.path
+        yield node, summary, fact, witness_path
+
+
+@register_project_rule
+class UnpicklableWorkerRule(ProjectRule):
+    id = "SIM201"
+    name = "unpicklable-worker"
+    description = (
+        "lambdas, nested functions, and bound methods submitted to a "
+        "process pool either fail to pickle or drag their whole "
+        "enclosing instance into every worker; submit a module-level "
+        "function instead"
+    )
+    rationale = (
+        "ProcessPoolExecutor pickles the submitted callable into each "
+        "worker.  A lambda or a function defined inside another "
+        "function raises PicklingError outright; a bound method "
+        "serialises its entire instance -- including any open files, "
+        "pools, or caches it holds -- into every child, which at best "
+        "is slow and at worst forks live state the parent goes on "
+        "mutating.  The sweep executor's byte-identical-merge guarantee "
+        "assumes workers receive nothing but a picklable function and "
+        "its config.  The --fix engine can lift an argument-closed "
+        "lambda to a module-level function automatically."
+    )
+    example_bad = (
+        "with ProcessPoolExecutor() as pool:\n"
+        "    fut = pool.submit(lambda cfg: run(cfg).total, config)\n"
+    )
+    example_good = (
+        "def _run_total(cfg):\n"
+        "    return run(cfg).total\n"
+        "\n"
+        "with ProcessPoolExecutor() as pool:\n"
+        "    fut = pool.submit(_run_total, config)\n"
+    )
+
+    _WHY = {
+        "lambda": "lambdas cannot be pickled",
+        "local-function": "functions defined inside another function "
+        "cannot be pickled",
+        "bound-method": "bound methods pickle their whole instance into "
+        "every worker (or fail outright)",
+    }
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        analysis = analyze_parallel(model, graph)
+        for site in analysis.submissions:
+            if site.kind not in self._WHY:
+                continue
+            record = site.record
+            pool = record.get("pool") or "pool"
+            callee = record.get("callee") or "<lambda>"
+            if site.kind == "lambda":
+                what = "a lambda"
+            elif site.kind == "local-function":
+                what = f"locally-defined function `{callee}`"
+            else:
+                what = f"bound method `{callee}`"
+            fix = self._lift_fix(site) if site.kind == "lambda" else None
+            yield self._violation(
+                site.summary.path,
+                site.line,
+                site.col,
+                f"{what} submitted to `{pool}.{record['how']}`: "
+                f"{self._WHY[site.kind]}; submit a module-level function",
+                (site.summary.path,),
+                fix=fix,
+            )
+
+    @staticmethod
+    def _lift_fix(site: SubmissionSite) -> Optional[Dict[str, Any]]:
+        """Machine edit lifting an argument-closed, single-expression
+        lambda to a module-level function; ``None`` when the lambda
+        captures state (a lift would change semantics)."""
+        payload = site.record.get("lambda") or {}
+        body_src = payload.get("body_src")
+        if (
+            not body_src
+            or "\n" in body_src
+            or payload.get("free_vars")
+            or payload.get("has_varargs")
+            or payload.get("has_defaults")
+        ):
+            return None
+        name = f"_lifted_worker_{payload['line']}"
+        if name in site.summary.symbols:
+            return None  # already lifted (or colliding): leave it alone
+        params = ", ".join(payload["params"])
+        return {
+            "kind": "lift-lambda",
+            "path": site.summary.path,
+            "description": f"lift the lambda to module-level `{name}`",
+            "edits": [
+                {
+                    "start_line": payload["line"],
+                    "start_col": payload["col"],
+                    "end_line": payload["end_line"],
+                    "end_col": payload["end_col"],
+                    "replacement": name,
+                }
+            ],
+            "append": f"\n\ndef {name}({params}):\n    return {body_src}\n",
+        }
+
+
+@register_project_rule
+class SharedMutableGlobalRule(ProjectRule):
+    id = "SIM202"
+    name = "shared-mutable-global"
+    description = (
+        "module-level dicts/lists/registries mutated from "
+        "worker-reachable code diverge per process: each fork mutates "
+        "its own copy and the parent never sees any of them"
+    )
+    rationale = (
+        "After fork (or spawn), every worker owns a private copy of "
+        "module globals.  Code that appends to a module-level list, "
+        "caches into a module-level dict, or get-or-creates metrics in "
+        "a module-level MetricsRegistry *appears* to work in every "
+        "worker -- and all of it is silently discarded when the worker "
+        "exits, while jobs=1 runs accumulate real state.  That is the "
+        "exact serial-vs-parallel divergence the executor's "
+        "byte-identical-merge test exists to prevent.  Pass state in "
+        "through the config and return it in the summary instead."
+    )
+    example_bad = (
+        "_SEEN = {}\n"
+        "def execute(cfg):           # submitted to the pool\n"
+        "    _SEEN[cfg.seed] = True  # lost when the worker exits\n"
+    )
+    example_good = (
+        "def execute(cfg):\n"
+        "    seen = {cfg.seed: True}\n"
+        "    return Summary(cfg, seen=seen)   # state rides the return\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        analysis = analyze_parallel(model, graph)
+        for node, summary, fact, witness_path in _reachable_facts(
+            analysis, graph
+        ):
+            for line, col, origin, kind, detail in fact.global_mutations:
+                resolved = model.resolve_symbol(origin)
+                if resolved is None:
+                    continue
+                owner_summary, symbol = resolved
+                head = symbol.split(".", 1)[0] if symbol else ""
+                if not head:
+                    continue
+                info = owner_summary.mutable_globals.get(head)
+                if info is None and kind != "rebind":
+                    continue
+                global_kind = info[2] if info is not None else "module global"
+                yield self._violation(
+                    summary.path,
+                    line,
+                    col,
+                    f"worker-reachable `{node[1]}` mutates module global "
+                    f"`{head}` ({global_kind} defined in "
+                    f"`{owner_summary.module}`) via {detail}; each pool "
+                    "worker mutates a private fork-copy the parent never "
+                    f"sees ({analysis.reason_for(node)})",
+                    (summary.path, owner_summary.path, witness_path),
+                )
+
+
+@register_project_rule
+class ProcessVaryingValueRule(ProjectRule):
+    id = "SIM203"
+    name = "process-varying-value"
+    description = (
+        "hash(), id(), os.getpid() and wall-clock reads differ between "
+        "worker processes (and runs); feeding them into digest/cache/"
+        "summary dataflow breaks content addressing"
+    )
+    rationale = (
+        "The result cache maps config digests to summaries; the whole "
+        "scheme assumes identical configs produce identical digests in "
+        "every process, forever.  hash() is salted per process by "
+        "PYTHONHASHSEED, id() is an address, os.getpid() and the wall "
+        "clock obviously vary -- any of them reaching digest, cache-key, "
+        "or summary construction makes cache hits a lottery: the same "
+        "sweep re-simulates points it already has, or worse, two "
+        "workers disagree about which entry is theirs.  Use the "
+        "sha256-based helpers in repro.exec.digest (config_digest, "
+        "stable_hash); the --fix engine rewrites single-argument "
+        "hash(x) calls to stable_hash(x) automatically."
+    )
+    example_bad = (
+        "# digest.py\n"
+        "def cache_key(payload):\n"
+        "    return hash(payload)      # salted per process\n"
+    )
+    example_good = (
+        "# digest.py\n"
+        "from repro.exec.digest import stable_hash\n"
+        "def cache_key(payload):\n"
+        "    return stable_hash(payload)   # sha256: stable everywhere\n"
+    )
+
+    #: File names whose dataflow is digest/cache/summary territory.
+    SINK_FILES = frozenset({"digest.py", "cache.py", "summary.py"})
+
+    def _is_sink(self, path: str) -> bool:
+        return path.rsplit("/", 1)[-1] in self.SINK_FILES
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        for summary in model.summaries():
+            in_sink = self._is_sink(summary.path)
+            for qualname in sorted(summary.functions):
+                fact = summary.functions[qualname]
+                if in_sink:
+                    for record in fact.varying_calls:
+                        yield self._violation(
+                            summary.path,
+                            record["line"],
+                            record["col"],
+                            f"{record['detail']} used in `{qualname}` of "
+                            "digest/cache/summary code: the value differs "
+                            "between worker processes, so identical "
+                            "configs stop mapping to identical digests",
+                            (summary.path,),
+                            fix=self._stable_hash_fix(summary.path, record),
+                        )
+                else:
+                    for record in fact.varying_args:
+                        target = model.function_fact(record.get("origin"))
+                        if target is None:
+                            continue
+                        target_summary, target_fact = target
+                        if not self._is_sink(target_summary.path):
+                            continue
+                        hits = "; ".join(record["hits"])
+                        yield self._violation(
+                            summary.path,
+                            record["line"],
+                            record["col"],
+                            f"process-varying value ({hits}) flows into "
+                            f"`{target_summary.module}."
+                            f"{target_fact.qualname}`: digests/cache keys "
+                            "derived from it differ per worker process",
+                            (summary.path, target_summary.path),
+                        )
+
+    @staticmethod
+    def _stable_hash_fix(
+        path: str, record: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        if record.get("func") != "hash" or record.get("nargs") != 1:
+            return None
+        arg_src = record.get("arg_src")
+        if not arg_src:
+            return None
+        return {
+            "kind": "stable-hash",
+            "path": path,
+            "description": (
+                "replace hash() with the deterministic sha256-based "
+                "stable_hash()"
+            ),
+            "edits": [
+                {
+                    "start_line": record["line"],
+                    "start_col": record["col"],
+                    "end_line": record["end_line"],
+                    "end_col": record["end_col"],
+                    "replacement": f"stable_hash({arg_src})",
+                }
+            ],
+            "ensure_import": "from repro.exec.digest import stable_hash",
+        }
+
+
+@register_project_rule
+class NonAtomicSharedWriteRule(ProjectRule):
+    id = "SIM204"
+    name = "non-atomic-shared-write"
+    description = (
+        "worker-reachable code writing files in place can interleave "
+        "with other workers; write to a temp path and os.replace() it, "
+        "as the result cache does"
+    )
+    rationale = (
+        "Two workers opening the same path with open(..., 'w') "
+        "interleave their writes; a reader (or a resumed campaign) sees "
+        "a torn file.  POSIX rename is atomic on one filesystem, so the "
+        "cache's idiom -- write the full payload to a sibling temp file, "
+        "then os.replace()/Path.replace() onto the final name -- makes "
+        "every observer see either the old file or the complete new "
+        "one.  The rule flags worker-reachable writes in functions with "
+        "no replace/rename pairing; the check is per-function, so keep "
+        "the write and its rename together."
+    )
+    example_bad = (
+        "def save(summary, path):     # runs inside pool workers\n"
+        "    with open(path, 'w') as fh:\n"
+        "        fh.write(summary.to_json())\n"
+    )
+    example_good = (
+        "def save(summary, path):\n"
+        "    tmp = path.with_suffix('.tmp')\n"
+        "    tmp.write_text(summary.to_json())\n"
+        "    tmp.replace(path)        # atomic: no torn reads\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        analysis = analyze_parallel(model, graph)
+        for node, summary, fact, witness_path in _reachable_facts(
+            analysis, graph
+        ):
+            if fact.atomic_renames:
+                continue  # temp-then-rename idiom present in this function
+            for line, col, detail in fact.file_writes:
+                yield self._violation(
+                    summary.path,
+                    line,
+                    col,
+                    f"worker-reachable `{node[1]}` writes a file in place "
+                    f"({detail}) with no replace/rename pairing; write to "
+                    "a temp path and os.replace() it "
+                    f"({analysis.reason_for(node)})",
+                    (summary.path, witness_path),
+                )
+
+
+@register_project_rule
+class WorkerEnvMutationRule(ProjectRule):
+    id = "SIM205"
+    name = "worker-env-mutation"
+    description = (
+        "os.environ writes in worker-reachable code mutate one worker's "
+        "environment, not the campaign's; pass settings through the "
+        "config instead"
+    )
+    rationale = (
+        "os.environ is per-process state.  A worker setting an "
+        "environment variable changes nothing for its siblings or the "
+        "parent, but *does* change its own subsequent tasks -- so which "
+        "tasks see the setting depends on pool scheduling, the exact "
+        "nondeterminism the deterministic merge is supposed to "
+        "exclude.  Configuration must flow through ExperimentConfig "
+        "(which is digested into the cache key); environment mutation "
+        "belongs at process start, before the pool exists."
+    )
+    example_bad = (
+        "def execute(cfg):            # submitted to the pool\n"
+        "    os.environ['QOS_MODE'] = cfg.mode   # this worker only\n"
+    )
+    example_good = (
+        "def execute(cfg):\n"
+        "    run(mode=cfg.mode)       # settings travel in the config\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        analysis = analyze_parallel(model, graph)
+        for node, summary, fact, witness_path in _reachable_facts(
+            analysis, graph
+        ):
+            for line, col, detail in fact.env_writes:
+                yield self._violation(
+                    summary.path,
+                    line,
+                    col,
+                    f"worker-reachable `{node[1]}` mutates the process "
+                    f"environment ({detail}); the write is invisible to "
+                    "other workers and the parent "
+                    f"({analysis.reason_for(node)})",
+                    (summary.path, witness_path),
                 )

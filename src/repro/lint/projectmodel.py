@@ -67,6 +67,11 @@ class ModuleSummary:
     symbols: Dict[str, str] = field(default_factory=dict)
     #: Local name -> absolute dotted origin, from the import statements.
     bindings: Dict[str, str] = field(default_factory=dict)
+    #: Module-level names bound to mutable containers / registry-style
+    #: objects: name -> (line, col, kind), SIM202's candidate set.
+    mutable_globals: Dict[str, Tuple[int, int, str]] = field(
+        default_factory=dict
+    )
     #: Modules star-imported (all their exports count as used).
     star_imports: List[str] = field(default_factory=list)
     #: Absolute dotted names referenced via attribute access.
@@ -86,6 +91,9 @@ class ModuleSummary:
             "exports": [list(item) for item in self.exports],
             "symbols": self.symbols,
             "bindings": self.bindings,
+            "mutable_globals": {
+                name: list(item) for name, item in self.mutable_globals.items()
+            },
             "star_imports": self.star_imports,
             "uses": self.uses,
             "functions": {
@@ -104,6 +112,10 @@ class ModuleSummary:
             exports=[(e[0], e[1], e[2]) for e in payload["exports"]],
             symbols=dict(payload["symbols"]),
             bindings=dict(payload["bindings"]),
+            mutable_globals={
+                name: (item[0], item[1], item[2])
+                for name, item in payload.get("mutable_globals", {}).items()
+            },
             star_imports=list(payload["star_imports"]),
             uses=list(payload["uses"]),
             functions={
@@ -179,6 +191,62 @@ def _collect_symbols(tree: ast.Module) -> Dict[str, str]:
     return symbols
 
 
+#: Constructor call names whose result is a mutable container.
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"dict", "list", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+
+def _mutable_kind(value: ast.expr) -> Optional[str]:
+    """Container kind when ``value`` builds a mutable object, else None.
+
+    Registry-style classes are recognised by naming convention
+    (``*Registry``/``*Cache``): a ``REGISTRY = MetricsRegistry()`` global
+    get-or-created from workers diverges per process exactly like a bare
+    dict would.
+    """
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(value, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(value, ast.Call):
+        tail = dotted_name(value.func).rsplit(".", 1)[-1]
+        if tail in _MUTABLE_CONSTRUCTORS:
+            return tail
+        if tail.endswith(("Registry", "Cache")):
+            return tail
+    return None
+
+
+def _collect_mutable_globals(
+    tree: ast.Module,
+) -> Dict[str, Tuple[int, int, str]]:
+    out: Dict[str, Tuple[int, int, str]] = {}
+    for stmt in tree.body:
+        targets: List[ast.Name] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            targets = [stmt.target]
+            value = stmt.value
+        if not targets or value is None:
+            continue
+        kind = _mutable_kind(value)
+        if kind is None:
+            continue
+        for target in targets:
+            if target.id == "__all__":
+                continue
+            out.setdefault(target.id, (stmt.lineno, stmt.col_offset, kind))
+    return out
+
+
 def _collect_exports(tree: ast.Module) -> List[Tuple[str, int, int]]:
     exports: List[Tuple[str, int, int]] = []
     for stmt in tree.body:
@@ -251,6 +319,7 @@ def extract_summary(source: str, path: str, *, tree: Optional[ast.Module] = None
         exports=_collect_exports(tree),
         symbols=symbols,
         bindings=bindings,
+        mutable_globals=_collect_mutable_globals(tree),
         star_imports=star_imports,
         uses=_collect_uses(tree, bindings, module_name),
         pragmas={
@@ -275,7 +344,7 @@ def extract_summary(source: str, path: str, *, tree: Optional[ast.Module] = None
             is_method=is_method,
         )
         analyzer = FunctionAnalyzer(
-            bindings, module_name, symbols, class_name=class_name
+            bindings, module_name, symbols, class_name=class_name, source=source
         )
         summary.functions[qualname] = analyzer.run(fact, body)
 

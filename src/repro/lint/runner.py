@@ -204,7 +204,7 @@ def lint_project(
     ``misses`` (== files parsed this run).  With ``cache_dir`` set, a
     warm run over an unchanged tree re-parses zero files.
     """
-    from repro.lint.cache import SummaryCache, hash_source
+    from repro.lint.cache import SummaryCache, hash_source, rules_digest
     from repro.lint.callgraph import CallGraph
     from repro.lint.project_rules import PROJECT_RULES
     from repro.lint.projectmodel import ModuleSummary, ProjectModel, extract_summary
@@ -214,11 +214,15 @@ def lint_project(
     model = ProjectModel()
     live_keys = set()
     files = 0
+    # Cached entries embed the producing rule set's findings; folding
+    # the registry digest into every key makes "new rule registered"
+    # indistinguishable from "file edited" -- a miss, then a re-lint.
+    ruleset = rules_digest()
     for file_path in iter_python_files(paths):
         files += 1
         source = file_path.read_text(encoding="utf-8")
         posix_path = str(file_path).replace("\\", "/")
-        key = hash_source(posix_path + "\x00" + source)
+        key = hash_source(posix_path + "\x00" + ruleset + "\x00" + source)
         live_keys.add(key)
         cached = cache.get(key)
         if cached is not None:

@@ -1,0 +1,131 @@
+"""Stdlib-only SARIF 2.1.0 emitter for ``repro-qos lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning, VS Code SARIF viewers, and most CI dashboards ingest.
+One run object carries the tool metadata (every rule that *fired*, with
+its ``--explain`` text), one result per violation with a physical
+location, and a ``partialFingerprints`` entry reusing the baseline
+fingerprint so re-runs correlate findings across line drift.
+
+Baselined findings are emitted as *suppressed* results (``suppressions``
+with ``kind: "external"``) rather than dropped: dashboards show them
+greyed-out instead of pretending they do not exist, which is the whole
+point of the suppress-but-count baseline workflow.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.lint.baseline import fingerprint
+from repro.lint.violations import Violation
+
+__all__ = ["to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: ``partialFingerprints`` key; versioned so a future fingerprint scheme
+#: can coexist with old results.
+FINGERPRINT_KEY = "simlint/v1"
+
+
+def _rule_metadata(
+    rule_ids: List[str], fired: Dict[str, Violation]
+) -> List[Dict[str, Any]]:
+    from repro.lint.project_rules import PROJECT_RULES
+    from repro.lint.rules import RULES
+
+    entries: List[Dict[str, Any]] = []
+    for rule_id in rule_ids:
+        rule = RULES.get(rule_id) or PROJECT_RULES.get(rule_id)
+        entry: Dict[str, Any] = {"id": rule_id}
+        if rule is not None:
+            entry["name"] = rule.name
+            entry["shortDescription"] = {"text": rule.description}
+            if rule.rationale:
+                entry["fullDescription"] = {"text": rule.rationale}
+        else:
+            # SIM000 meta-findings have no registry entry; borrow the
+            # name the violation itself carries.
+            entry["name"] = fired[rule_id].rule_name
+        entries.append(entry)
+    return entries
+
+
+def _result(
+    violation: Violation, rule_index: Dict[str, int], suppressed: bool
+) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": violation.rule_id,
+        "ruleIndex": rule_index[violation.rule_id],
+        "level": "error",
+        "message": {"text": violation.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": violation.path},
+                    "region": {
+                        "startLine": violation.line,
+                        # SARIF columns are 1-based; AST columns 0-based.
+                        "startColumn": violation.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {FINGERPRINT_KEY: fingerprint(violation)},
+    }
+    if violation.provenance:
+        result["relatedLocations"] = [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": path},
+                    "region": {"startLine": 1},
+                },
+                "message": {"text": "contributed to this finding"},
+            }
+            for path in violation.provenance
+        ]
+    if suppressed:
+        result["suppressions"] = [
+            {
+                "kind": "external",
+                "justification": "accepted in lint-baseline.json",
+            }
+        ]
+    return result
+
+
+def to_sarif(
+    violations: Iterable[Violation],
+    *,
+    suppressed: Iterable[Violation] = (),
+    tool_version: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One SARIF 2.1.0 document over active + baselined findings."""
+    active = sorted(violations)
+    baselined = sorted(suppressed)
+
+    fired: Dict[str, Violation] = {}
+    for violation in active + baselined:
+        fired.setdefault(violation.rule_id, violation)
+    rule_ids = sorted(fired)
+    rule_index = {rule_id: index for index, rule_id in enumerate(rule_ids)}
+
+    driver: Dict[str, Any] = {
+        "name": "simlint",
+        "rules": _rule_metadata(rule_ids, fired),
+    }
+    if tool_version is not None:
+        driver["version"] = tool_version
+
+    results = [_result(v, rule_index, suppressed=False) for v in active]
+    results += [_result(v, rule_index, suppressed=True) for v in baselined]
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA_URI,
+        "runs": [{"tool": {"driver": driver}, "results": results}],
+    }

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 __all__ = ["Violation"]
 
@@ -17,6 +17,11 @@ class Violation:
     is empty for single-file rules and names every involved module for
     cross-module (SIM1xx) findings, e.g. the caller and the callee of a
     unit-dimension mismatch.
+
+    ``fix`` is an optional machine-applicable edit (the payload
+    :mod:`repro.lint.fixes` consumes); it never participates in
+    ordering/equality and is omitted from the JSON form when absent, so
+    fix-less producers and consumers are byte-compatible with v2.
     """
 
     path: str
@@ -26,6 +31,7 @@ class Violation:
     rule_name: str  # e.g. "global-random" (also the pragma name)
     message: str
     provenance: Tuple[str, ...] = field(default=())
+    fix: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     def format(self) -> str:
         """``path:line:col: SIM001 [global-random] message`` -- the text
@@ -40,7 +46,7 @@ class Violation:
 
     def to_dict(self) -> Dict[str, Union[str, int, Tuple[str, ...]]]:
         """JSON-ready form for ``repro-qos lint --format json``."""
-        return {
+        payload: Dict[str, Union[str, int, Tuple[str, ...]]] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -49,6 +55,9 @@ class Violation:
             "message": self.message,
             "provenance": list(self.provenance),  # type: ignore[dict-item]
         }
+        if self.fix is not None:
+            payload["fix"] = self.fix  # type: ignore[assignment]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Violation":
@@ -61,4 +70,5 @@ class Violation:
             rule_name=str(payload["name"]),
             message=str(payload["message"]),
             provenance=tuple(payload.get("provenance", ())),
+            fix=payload.get("fix"),
         )

@@ -1,0 +1,9 @@
+"""Submits a lambda to a process pool: it cannot pickle."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_all(configs):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda cfg: cfg * 2, cfg) for cfg in configs]
+        return [future.result() for future in futures]

@@ -1,0 +1,11 @@
+"""Fans execute_point out over a pool, then reads the (empty) dict."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from worker import RESULTS, execute_point
+
+
+def run_all(configs):
+    with ProcessPoolExecutor() as pool:
+        list(pool.map(execute_point, configs))
+    return dict(RESULTS)

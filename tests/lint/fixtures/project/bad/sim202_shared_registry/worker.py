@@ -1,0 +1,8 @@
+"""Worker mutates a module-level dict: lost in the parent process."""
+
+RESULTS = {}
+
+
+def execute_point(cfg):
+    RESULTS[cfg] = cfg * 2
+    return cfg

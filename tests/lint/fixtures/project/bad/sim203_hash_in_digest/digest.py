@@ -1,0 +1,5 @@
+"""Cache key built on hash(): salted per process since PEP 456."""
+
+
+def cache_key(payload):
+    return hash(payload)

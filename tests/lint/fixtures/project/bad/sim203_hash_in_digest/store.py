@@ -1,0 +1,9 @@
+"""Content-addressed store keyed by the (unstable) digest."""
+
+from digest import cache_key
+
+
+def remember(table, payload):
+    key = cache_key(payload)
+    table[key] = payload
+    return key

@@ -1,0 +1,10 @@
+"""Fans execute_point out over a pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from worker import execute_point
+
+
+def run_all(configs):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(execute_point, configs))

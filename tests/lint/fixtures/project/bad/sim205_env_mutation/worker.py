@@ -1,0 +1,8 @@
+"""Worker mutates os.environ: dies with the child, races its siblings."""
+
+import os
+
+
+def execute_point(cfg):
+    os.environ["QOS_MODE"] = repr(cfg)
+    return cfg

@@ -1,0 +1,13 @@
+"""Submits a module-level function: picklable by qualified name."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def double(cfg):
+    return cfg * 2
+
+
+def run_all(configs):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(double, cfg) for cfg in configs]
+        return [future.result() for future in futures]

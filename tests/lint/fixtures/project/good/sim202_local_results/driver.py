@@ -1,0 +1,13 @@
+"""Merges worker return values in the parent, by submission order."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from worker import execute_point
+
+
+def run_all(configs):
+    with ProcessPoolExecutor() as pool:
+        merged = {}
+        for results in pool.map(execute_point, configs):
+            merged.update(results)
+    return merged

@@ -1,0 +1,7 @@
+"""Worker accumulates locally and returns: survives the pickle hop."""
+
+
+def execute_point(cfg):
+    results = {}
+    results[cfg] = cfg * 2
+    return results

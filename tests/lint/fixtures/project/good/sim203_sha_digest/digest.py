@@ -1,0 +1,8 @@
+"""Cache key built on sha256: identical in every process."""
+
+import hashlib
+
+
+def cache_key(payload):
+    blob = repr(payload).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()

@@ -1,0 +1,13 @@
+"""Fans save_point out over a pool; renames land whole files."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from writer import save_point
+
+
+def run_all(points):
+    with ProcessPoolExecutor() as pool:
+        futures = [
+            pool.submit(save_point, point, "sweep.out") for point in points
+        ]
+        return [future.result() for future in futures]

@@ -1,0 +1,11 @@
+"""Worker writes to a temp file and renames: readers see old or new."""
+
+import os
+
+
+def save_point(summary, path):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        handle.write(repr(summary))
+    os.replace(tmp, path)
+    return path

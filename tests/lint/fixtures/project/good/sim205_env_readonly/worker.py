@@ -1,0 +1,9 @@
+"""Worker reads settings from its config argument, never the env."""
+
+import os
+
+
+def execute_point(cfg, mode=None):
+    if mode is None:
+        mode = os.environ.get("QOS_MODE", "strict")
+    return (cfg, mode)

@@ -1,0 +1,336 @@
+"""Tests for the parallel-safety layer (SIM201-SIM205), the fix engine,
+the baseline workflow, and the rules-digest cache key.
+
+Covers the fixture matrix (each bad fixture flags exactly its rule, each
+good fixture is clean), worker-reachability roots and witnesses,
+machine-fix application (idempotent; dry-run writes nothing), the
+``--baseline``/``--update-baseline`` gate, and the cache regression that
+registering a new rule invalidates warm per-file entries.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.exec.digest import stable_hash
+from repro.lint import (
+    PROJECT_RULES,
+    Baseline,
+    apply_fixes,
+    fingerprint,
+    lint_project,
+)
+from repro.lint.cache import rules_digest
+from repro.lint.callgraph import CallGraph
+from repro.lint.parallel import analyze_parallel
+from repro.lint.project_rules import ProjectRule, register_project_rule
+from repro.lint.projectmodel import ProjectModel, extract_summary
+
+HERE = Path(__file__).parent
+PROJECT_FIXTURES = HERE / "fixtures" / "project"
+
+FIXTURE_MATRIX = [
+    ("SIM201", "sim201_lambda_worker", "sim201_module_worker"),
+    ("SIM202", "sim202_shared_registry", "sim202_local_results"),
+    ("SIM203", "sim203_hash_in_digest", "sim203_sha_digest"),
+    ("SIM204", "sim204_raw_shared_write", "sim204_atomic_write"),
+    ("SIM205", "sim205_env_mutation", "sim205_env_readonly"),
+]
+
+
+class TestFixtureMatrix:
+    @pytest.mark.parametrize(
+        "rule_id,bad_dir,good_dir",
+        FIXTURE_MATRIX,
+        ids=[row[0] for row in FIXTURE_MATRIX],
+    )
+    def test_bad_fixture_flags_exactly_its_rule(self, rule_id, bad_dir, good_dir):
+        violations, _ = lint_project([PROJECT_FIXTURES / "bad" / bad_dir])
+        assert violations, f"{bad_dir} produced no findings"
+        assert {v.rule_id for v in violations} == {rule_id}
+
+    @pytest.mark.parametrize(
+        "rule_id,bad_dir,good_dir",
+        FIXTURE_MATRIX,
+        ids=[row[0] for row in FIXTURE_MATRIX],
+    )
+    def test_good_fixture_is_clean(self, rule_id, bad_dir, good_dir):
+        violations, _ = lint_project([PROJECT_FIXTURES / "good" / good_dir])
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+    def test_finding_names_its_submission_site(self):
+        violations, _ = lint_project(
+            [PROJECT_FIXTURES / "bad" / "sim202_shared_registry"]
+        )
+        (violation,) = violations
+        assert "pool.map" in violation.message
+        assert "driver.py" in violation.message
+        assert any("worker.py" in step for step in violation.provenance)
+
+    @pytest.mark.parametrize(
+        "spelling", ["allow-sim202", "allow-shared-mutable-global"]
+    )
+    def test_pragma_suppresses_parallel_finding(self, tmp_path, spelling):
+        src = PROJECT_FIXTURES / "bad" / "sim202_shared_registry"
+        shutil.copytree(src, tmp_path / "proj")
+        worker = tmp_path / "proj" / "worker.py"
+        text = worker.read_text(encoding="utf-8")
+        worker.write_text(
+            text.replace(
+                "RESULTS[cfg] = cfg * 2",
+                f"RESULTS[cfg] = cfg * 2  # simlint: {spelling}",
+            ),
+            encoding="utf-8",
+        )
+        violations, _ = lint_project([tmp_path / "proj"])
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+
+def _model_for(directory: Path):
+    model = ProjectModel()
+    for path in sorted(directory.rglob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        model.add(extract_summary(source, path.as_posix()))
+    graph = CallGraph(model)
+    return model, graph
+
+
+class TestReachability:
+    def test_named_submission_roots_the_worker(self):
+        model, graph = _model_for(
+            PROJECT_FIXTURES / "bad" / "sim202_shared_registry"
+        )
+        analysis = analyze_parallel(model, graph)
+        assert [site.kind for site in analysis.submissions] == ["named"]
+        assert ("worker", "execute_point") in analysis.roots
+        assert ("worker", "execute_point") in analysis.reachable
+        reason = analysis.reason_for(("worker", "execute_point"))
+        assert "pool.map" in reason
+
+    def test_lambda_submission_roots_the_encloser(self):
+        model, graph = _model_for(
+            PROJECT_FIXTURES / "bad" / "sim201_lambda_worker"
+        )
+        analysis = analyze_parallel(model, graph)
+        assert [site.kind for site in analysis.submissions] == ["lambda"]
+        assert ("driver", "run_all") in analysis.roots
+        assert "encloses a lambda" in analysis.roots[("driver", "run_all")]
+
+    def test_unsubmitted_function_is_not_reachable(self):
+        model, graph = _model_for(
+            PROJECT_FIXTURES / "good" / "sim205_env_readonly"
+        )
+        analysis = analyze_parallel(model, graph)
+        assert ("worker", "execute_point") in analysis.reachable
+        assert ("driver", "run_all") not in analysis.reachable
+        assert analysis.reason_for(("driver", "run_all")) == (
+            "not worker-reachable"
+        )
+
+
+class TestFixEngine:
+    def _copy(self, tmp_path: Path, name: str) -> Path:
+        target = tmp_path / name
+        shutil.copytree(PROJECT_FIXTURES / "bad" / name, target)
+        return target
+
+    @pytest.mark.parametrize(
+        "name", ["sim201_lambda_worker", "sim203_hash_in_digest"]
+    )
+    def test_fix_applies_and_is_idempotent(self, tmp_path, name):
+        target = self._copy(tmp_path, name)
+        violations, _ = lint_project([target])
+        report = apply_fixes(violations)
+        assert report.applied == 1 and report.skipped == 0
+        assert len(report.files_changed) == 1
+
+        # The fix removed the pattern that made the rule fire.
+        fixed, _ = lint_project([target])
+        assert fixed == [], "\n".join(v.format() for v in fixed)
+
+        # A second pass finds nothing fixable and edits nothing.
+        second = apply_fixes(fixed)
+        assert second.applied == 0 and second.files_changed == []
+
+    def test_lifted_lambda_compiles(self, tmp_path):
+        target = self._copy(tmp_path, "sim201_lambda_worker")
+        violations, _ = lint_project([target])
+        apply_fixes(violations)
+        text = (target / "driver.py").read_text(encoding="utf-8")
+        compile(text, "driver.py", "exec")
+        assert "lambda cfg" not in text
+        assert "pool.submit(_lifted_worker_8, cfg)" in text
+        assert "def _lifted_worker_8(cfg):" in text
+
+    def test_stable_hash_fix_inserts_import(self, tmp_path):
+        target = self._copy(tmp_path, "sim203_hash_in_digest")
+        violations, _ = lint_project([target])
+        apply_fixes(violations)
+        text = (target / "digest.py").read_text(encoding="utf-8")
+        assert "from repro.exec.digest import stable_hash" in text
+        assert "stable_hash(payload)" in text
+        assert "hash(payload)" not in text.replace("stable_hash(payload)", "")
+
+    def test_dry_run_writes_nothing(self, tmp_path):
+        target = self._copy(tmp_path, "sim203_hash_in_digest")
+        before = (target / "digest.py").read_text(encoding="utf-8")
+        violations, _ = lint_project([target])
+        report = apply_fixes(violations, dry_run=True)
+        assert report.dry_run and report.applied == 1
+        assert (target / "digest.py").read_text(encoding="utf-8") == before
+        diff = report.diffs[str(target / "digest.py")]
+        assert "-    return hash(payload)" in diff
+        assert "+    return stable_hash(payload)" in diff
+
+    def test_cli_fix_loop(self, tmp_path, capsys):
+        target = self._copy(tmp_path, "sim201_lambda_worker")
+        assert main(["lint", "--project", str(target), "--fix"]) == 0
+        assert "fixed" in capsys.readouterr().err
+        # Fixed tree stays clean without --fix.
+        assert main(["lint", "--project", str(target)]) == 0
+
+
+class TestBaseline:
+    def test_fingerprint_ignores_line_drift(self):
+        violations, _ = lint_project(
+            [PROJECT_FIXTURES / "bad" / "sim205_env_mutation"]
+        )
+        (violation,) = violations
+        from dataclasses import replace
+
+        drifted = replace(violation, line=violation.line + 40)
+        assert fingerprint(drifted) == fingerprint(violation)
+
+    def test_partition_suppresses_known_gates_new(self):
+        known, _ = lint_project(
+            [PROJECT_FIXTURES / "bad" / "sim204_raw_shared_write"]
+        )
+        fresh, _ = lint_project(
+            [PROJECT_FIXTURES / "bad" / "sim205_env_mutation"]
+        )
+        baseline = Baseline.from_violations(known)
+        new, baselined = baseline.partition(known + fresh)
+        assert baselined == known
+        assert new == fresh
+
+    def test_save_load_roundtrip(self, tmp_path):
+        violations, _ = lint_project(
+            [PROJECT_FIXTURES / "bad" / "sim202_shared_registry"]
+        )
+        path = tmp_path / "baseline.json"
+        Baseline.from_violations(violations).save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == len(violations)
+        new, baselined = loaded.partition(violations)
+        assert new == [] and baselined == violations
+
+    def test_corrupt_baseline_reads_as_empty(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert len(Baseline.load(path)) == 0
+        path.write_text(json.dumps({"schema": 999, "findings": []}))
+        assert len(Baseline.load(path)) == 0
+
+    def test_cli_update_then_gate(self, tmp_path, capsys):
+        proj = tmp_path / "proj"
+        shutil.copytree(
+            PROJECT_FIXTURES / "bad" / "sim202_shared_registry", proj
+        )
+        base = tmp_path / "base.json"
+
+        # Snapshot today's findings: gate passes.
+        assert (
+            main(
+                [
+                    "lint",
+                    "--project",
+                    str(proj),
+                    "--baseline",
+                    str(base),
+                    "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(["lint", "--project", str(proj), "--baseline", str(base)])
+            == 0
+        )
+        assert "1 baselined" in capsys.readouterr().err
+
+        # A regression is gated even though the old finding is accepted.
+        worker = proj / "worker.py"
+        worker.write_text(
+            worker.read_text(encoding="utf-8")
+            + "\n\ndef execute_more(cfg):\n    RESULTS[repr(cfg)] = cfg\n",
+            encoding="utf-8",
+        )
+        driver = proj / "driver.py"
+        driver.write_text(
+            driver.read_text(encoding="utf-8").replace(
+                "from worker import RESULTS, execute_point",
+                "from worker import RESULTS, execute_more, execute_point",
+            )
+            + (
+                "\n\ndef run_more(configs):\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        return list(pool.map(execute_more, configs))\n"
+            ),
+            encoding="utf-8",
+        )
+        assert (
+            main(["lint", "--project", str(proj), "--baseline", str(base)])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "execute_more" in out
+        assert "execute_point" not in out  # the accepted finding stays quiet
+
+
+class TestRulesDigestCache:
+    def test_new_rule_invalidates_warm_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        target = PROJECT_FIXTURES / "good" / "sim203_sha_digest"
+
+        _, cold = lint_project([target], cache_dir=cache_dir)
+        assert cold["misses"] == cold["files"] == 2
+        _, warm = lint_project([target], cache_dir=cache_dir)
+        assert warm == {"files": 2, "hits": 2, "misses": 0}
+
+        digest_before = rules_digest()
+
+        class TemporaryRule(ProjectRule):
+            id = "SIM999"
+            name = "temporary-test-rule"
+            description = "registered by a test, removed in finally"
+
+            def check(self, model, graph):
+                return iter(())
+
+        register_project_rule(TemporaryRule)
+        try:
+            assert rules_digest() != digest_before
+            _, invalidated = lint_project([target], cache_dir=cache_dir)
+            assert invalidated["misses"] == 2, (
+                "registering a rule must re-lint cached files"
+            )
+        finally:
+            del PROJECT_RULES["SIM999"]
+        assert rules_digest() == digest_before
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("advanced-2vc") == 5507327187000418832
+        assert stable_hash(b"raw") == stable_hash(b"raw")
+
+    def test_canonical_json_for_structures(self):
+        assert stable_hash((1, 2, 3)) == stable_hash([1, 2, 3])
+        assert stable_hash({"b": 1, "a": 2}) == stable_hash({"a": 2, "b": 1})
+        assert stable_hash("x") != stable_hash("y")

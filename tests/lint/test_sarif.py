@@ -1,0 +1,81 @@
+"""Shape tests for the SARIF 2.1.0 emitter (``--format sarif``)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import Baseline, fingerprint, lint_project, to_sarif
+from repro.lint.sarif import FINGERPRINT_KEY, SARIF_VERSION
+
+HERE = Path(__file__).parent
+PROJECT_FIXTURES = HERE / "fixtures" / "project"
+
+
+def _violations(name: str):
+    violations, _ = lint_project([PROJECT_FIXTURES / "bad" / name])
+    return violations
+
+
+class TestSarifShape:
+    def test_document_skeleton(self):
+        violations = _violations("sim201_lambda_worker")
+        doc = to_sarif(violations)
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "simlint"
+        assert len(run["results"]) == len(violations)
+
+    def test_rules_and_results_cross_reference(self):
+        violations = _violations("sim202_shared_registry")
+        (run,) = to_sarif(violations)["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        assert [rule["id"] for rule in rules] == ["SIM202"]
+        assert rules[0]["name"] == "shared-mutable-global"
+        assert rules[0]["shortDescription"]["text"]
+        assert rules[0]["fullDescription"]["text"]
+        (result,) = run["results"]
+        assert result["ruleId"] == "SIM202"
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_location_is_one_based(self):
+        (violation,) = _violations("sim205_env_mutation")
+        (run,) = to_sarif([violation])["runs"]
+        (result,) = run["results"]
+        (location,) = result["locations"]
+        region = location["physicalLocation"]["region"]
+        assert region["startLine"] == violation.line
+        assert region["startColumn"] == violation.col + 1
+        uri = location["physicalLocation"]["artifactLocation"]["uri"]
+        assert uri.endswith("worker.py")
+
+    def test_fingerprint_matches_baseline_scheme(self):
+        (violation,) = _violations("sim204_raw_shared_write")
+        (run,) = to_sarif([violation])["runs"]
+        (result,) = run["results"]
+        assert result["partialFingerprints"] == {
+            FINGERPRINT_KEY: fingerprint(violation)
+        }
+
+    def test_baselined_findings_emit_suppressed_not_dropped(self):
+        violations = _violations("sim203_hash_in_digest")
+        baseline = Baseline.from_violations(violations)
+        new, baselined = baseline.partition(violations)
+        assert new == []
+        (run,) = to_sarif(new, suppressed=baselined)["runs"]
+        (result,) = run["results"]
+        (suppression,) = result["suppressions"]
+        assert suppression["kind"] == "external"
+        # Active results carry no suppressions key at all.
+        (active,) = to_sarif(violations)["runs"][0]["results"]
+        assert "suppressions" not in active
+
+    def test_cli_emits_parseable_sarif(self, capsys):
+        target = PROJECT_FIXTURES / "bad" / "sim201_lambda_worker"
+        code = main(["lint", "--project", str(target), "--format", "sarif"])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert [r["ruleId"] for r in doc["runs"][0]["results"]] == ["SIM201"]
