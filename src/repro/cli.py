@@ -266,6 +266,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot the current findings into the baseline file "
         "(--baseline FILE, default lint-baseline.json) and exit 0",
     )
+    lint_p.add_argument(
+        "--profile",
+        default=None,
+        metavar="PSTATS",
+        help="with --project: rank SIM3xx findings by the cumulative "
+        "time in this cProfile/pstats dump (see `repro-qos profile "
+        "run`); top-decile findings are flagged hot:, unmeasured ones "
+        "demoted to notes and excluded from the exit gate",
+    )
+
+    prof_p = sub.add_parser(
+        "profile", help="produce the pstats dump `lint --profile` ranks by"
+    )
+    prof_sub = prof_p.add_subparsers(dest="profile_command", required=True)
+    prof_run_p = prof_sub.add_parser(
+        "run", help="run one simulation under cProfile and dump pstats"
+    )
+    prof_run_p.add_argument(
+        "--arch", default="advanced-2vc", choices=sorted(ARCHITECTURES)
+    )
+    prof_run_p.add_argument("--load", type=float, default=1.0)
+    prof_run_p.add_argument(
+        "-o",
+        "--out",
+        default="prof.pstats",
+        metavar="FILE",
+        help="pstats dump path (default: prof.pstats)",
+    )
+    common(prof_run_p)
     return parser
 
 
@@ -617,10 +646,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 print(f"{rule.id}  allow-{rule.name:<28} {rule.description}")
         return 0
     select = args.select.split(",") if args.select else None
+    if args.profile and not args.project:
+        print(
+            "repro-qos lint: --profile requires --project "
+            "(the SIM3xx rules it ranks are project rules)",
+            file=sys.stderr,
+        )
+        return 2
 
     def run_lint():
         if args.project:
-            return lint_project(args.paths, cache_dir=args.cache_dir, select=select)
+            return lint_project(
+                args.paths,
+                cache_dir=args.cache_dir,
+                select=select,
+                profile=args.profile,
+            )
         return lint_paths(args.paths, select=select), None
 
     cache_stats = None
@@ -635,7 +676,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             if fix_report.files_changed and not args.dry_run:
                 # The gate and the output must describe the *fixed* tree.
                 violations, cache_stats = run_lint()
-    except (FileNotFoundError, KeyError) as exc:
+    except (FileNotFoundError, KeyError, ValueError) as exc:
         print(f"repro-qos lint: {exc}", file=sys.stderr)
         return 2
 
@@ -671,6 +712,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         if fix_report is not None:
             payload["fixes"] = fix_report.to_dict()
         if cache_stats is not None:
+            cache_stats = dict(cache_stats)
+            profile_stats = cache_stats.pop("profile", None)
+            if profile_stats is not None:
+                payload["profile"] = profile_stats
             payload["cache"] = cache_stats
         print(json.dumps(payload, indent=2))
     else:
@@ -698,7 +743,41 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 f"{cache_stats['misses']} parsed]",
                 file=sys.stderr,
             )
-    return 1 if violations else 0
+            profile_stats = cache_stats.get("profile")
+            if profile_stats is not None:
+                print(
+                    f"[profile: {profile_stats['total_seconds']}s total, "
+                    f"{profile_stats['matched']}/{profile_stats['ranked']} "
+                    f"findings measured: {profile_stats['hot']} hot, "
+                    f"{profile_stats['warm']} warm, "
+                    f"{profile_stats['cold']} cold]",
+                    file=sys.stderr,
+                )
+    # Cold findings are profile-demoted notes: reported, but they never
+    # fail the gate -- the whole point of ranking by measured cost.
+    gating = [
+        v for v in violations if (v.profile or {}).get("bucket") != "cold"
+    ]
+    return 1 if gating else 0
+
+
+def _cmd_profile_run(args: argparse.Namespace) -> int:
+    import cProfile
+
+    from repro.exec.summary import execute_config
+
+    config = _config_from(args, arch=args.arch, load=args.load)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    summary = execute_config(config)
+    profiler.disable()
+    profiler.dump_stats(args.out)
+    print(
+        f"repro-qos profile: {summary.events_executed} events in "
+        f"{summary.wall_seconds:.3f}s wall -> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -721,6 +800,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_metrics(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "profile":
+        return _cmd_profile_run(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

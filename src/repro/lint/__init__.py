@@ -41,10 +41,31 @@ SIM203    process-varying-value        hash()/pid/wall-clock reaching
 SIM204    non-atomic-shared-write      worker file writes without
                                        write-temp-then-``os.replace``
 SIM205    worker-env-mutation          ``os.environ`` writes in workers
+SIM301    hot-loop-allocation          per-iteration allocation in hot
+                                       loops (literals, closures, ...)
+SIM302    hot-missing-slots            hot-instantiated classes without
+                                       ``__slots__``
+SIM303    hot-attr-reload              repeated attribute-chain loads
+                                       per hot-loop iteration
+SIM304    hot-global-lookup            repeated global/builtin lookups
+                                       per hot-loop iteration
+SIM305    hot-exception-flow           exception-based control flow in
+                                       hot loops
+SIM306    hot-eager-str                eager string building on the hot
+                                       path
 ========  ===========================  ====================================
 
 The SIM2xx rules rest on the worker-reachability closure of
-:mod:`repro.lint.parallel`.  Some findings carry machine-applicable
+:mod:`repro.lint.parallel`; the SIM3xx performance family on the
+engine-reachability closure of :mod:`repro.lint.hotpath`.  The
+profile-guided mode ranks SIM3xx findings by measured cost::
+
+    repro-qos profile run --arch advanced-2vc -o prof.pstats
+    repro-qos lint --project --profile prof.pstats src
+
+Top-decile findings (by pstats cumulative seconds) are flagged ``hot:``;
+findings the profiled workload never executed become notes and stop
+gating the exit code.  Some findings carry machine-applicable
 fixes: ``repro-qos lint --fix`` applies them (``--fix --dry-run`` shows
 the diffs), and ``--baseline lint-baseline.json`` /
 ``--update-baseline`` suppress pre-existing findings so the gate fails
@@ -68,6 +89,12 @@ from __future__ import annotations
 
 from repro.lint.baseline import Baseline, fingerprint
 from repro.lint.fixes import FixReport, apply_fixes
+from repro.lint.hotpath import (
+    HotPathAnalysis,
+    ProfileIndex,
+    analyze_hotpath,
+    annotate_profile,
+)
 from repro.lint.pragmas import Pragma, parse_pragmas
 from repro.lint.project_rules import PROJECT_RULES, ProjectRule, register_project_rule
 from repro.lint.rules import RULES, Rule, register_rule
@@ -84,12 +111,16 @@ from repro.lint.violations import Violation
 __all__ = [
     "Baseline",
     "FixReport",
+    "HotPathAnalysis",
     "PROJECT_RULES",
     "Pragma",
+    "ProfileIndex",
     "ProjectRule",
     "RULES",
     "Rule",
     "Violation",
+    "analyze_hotpath",
+    "annotate_profile",
     "apply_fixes",
     "fingerprint",
     "iter_python_files",

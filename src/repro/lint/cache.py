@@ -32,7 +32,10 @@ __all__ = ["SummaryCache", "hash_source", "rules_digest"]
 #: Bump when the ModuleSummary serialisation format changes.
 #: 2: SIM2xx fields (submissions, global mutations, varying values,
 #: file writes, env writes) + mutable_globals on the summary.
-CACHE_SCHEMA_VERSION = 2
+#: 3: SIM3xx hot-path fields (loop allocations, repeated attribute /
+#: global lookups, loop try/excepts, string builds) + per-class layout
+#: facts on the summary.
+CACHE_SCHEMA_VERSION = 3
 
 #: File name used inside the cache directory.
 CACHE_FILE_NAME = "projectmodel.json"

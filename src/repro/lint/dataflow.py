@@ -32,6 +32,16 @@ whether the function pairs them with an atomic ``replace``/``rename``),
 and ``os.environ`` mutations.  Everything it produces is
 JSON-serialisable so the project cache can replay it without re-parsing
 the file.
+
+For the hot-path performance pass (SIM301-SIM306,
+:mod:`repro.lint.hotpath`) each ``for``/``while`` body additionally gets
+one dedicated sub-walk (:class:`_LoopBodyCollector`) recording
+**allocations per iteration** (literals, comprehensions, closures,
+constructor calls), **repeated attribute-chain loads** with the spans a
+hoist fix needs, **repeated global/builtin lookups**, and
+**try/except blocks** used inside the loop; eager **string building**
+(f-strings, ``%``, ``.format``, ``repr``) is recorded during the normal
+walk, skipping ``raise`` statements exactly like SIM104 does.
 """
 
 from __future__ import annotations
@@ -39,7 +49,7 @@ from __future__ import annotations
 import ast
 import builtins
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
 
 __all__ = [
     "FunctionAnalyzer",
@@ -145,6 +155,24 @@ _ENVIRON_WRITE_METHODS = frozenset({"update", "setdefault", "pop", "popitem", "c
 
 #: Rename calls that make a preceding temp-file write atomic.
 _ATOMIC_RENAME_ATTRS = frozenset({"replace", "rename", "renames"})
+
+#: Constructor names whose every call allocates a fresh container
+#: (SIM301).  Matched on the terminal name so both ``deque(...)`` and
+#: ``collections.deque(...)`` count.
+_CONTAINER_CONSTRUCTORS = frozenset(
+    {
+        "dict",
+        "list",
+        "set",
+        "frozenset",
+        "tuple",
+        "bytearray",
+        "deque",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+    }
+)
 
 
 def classify_name(identifier: str) -> Optional[Dim]:
@@ -255,6 +283,29 @@ class FunctionFact:
     atomic_renames: int = 0
     #: (line, col, detail) per ``os.environ`` mutation (SIM205).
     env_writes: List[Tuple[int, int, str]] = field(default_factory=list)
+    #: One record per allocation site inside a loop body (SIM301):
+    #: ``{"line", "col", "loop_line", "what", "detail", "callee",
+    #: "origin"}`` -- ``what`` in {"literal", "comprehension", "closure",
+    #: "container", "call"}; only ``"call"`` records need the rule to
+    #: confirm the origin names a class.
+    loop_allocs: List[Dict[str, Any]] = field(default_factory=list)
+    #: One record per attribute chain read >= 2x per loop iteration with
+    #: no intervening write (SIM303): ``{"loop_line", "loop_col",
+    #: "chain", "count", "sites", "alias", "alias_ok"}`` -- ``sites`` is
+    #: ``[[line, col, end_line, end_col], ...]`` so the hoist fix can
+    #: rewrite every occurrence.
+    loop_attr_repeats: List[Dict[str, Any]] = field(default_factory=list)
+    #: One record per global/builtin name looked up >= 2x per loop
+    #: iteration (SIM304): same shape as ``loop_attr_repeats`` plus
+    #: ``"kind"`` in {"builtin", "global"}.
+    loop_global_lookups: List[Dict[str, Any]] = field(default_factory=list)
+    #: One record per ``try``/``except`` inside a loop body (SIM305):
+    #: ``{"line", "col", "loop_line", "types", "reraises_only"}``.
+    loop_try_excepts: List[Dict[str, Any]] = field(default_factory=list)
+    #: (line, col, detail) per eager string construction outside a
+    #: ``raise`` (SIM306): f-strings, ``%`` on a string literal,
+    #: ``"...".format(...)``, ``repr(...)``.
+    str_builds: List[Tuple[int, int, str]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -273,6 +324,11 @@ class FunctionFact:
             "file_writes": [list(item) for item in self.file_writes],
             "atomic_renames": self.atomic_renames,
             "env_writes": [list(item) for item in self.env_writes],
+            "loop_allocs": self.loop_allocs,
+            "loop_attr_repeats": self.loop_attr_repeats,
+            "loop_global_lookups": self.loop_global_lookups,
+            "loop_try_excepts": self.loop_try_excepts,
+            "str_builds": [list(item) for item in self.str_builds],
         }
 
     @classmethod
@@ -299,6 +355,13 @@ class FunctionFact:
             atomic_renames=payload.get("atomic_renames", 0),
             env_writes=[
                 (i[0], i[1], i[2]) for i in payload.get("env_writes", ())
+            ],
+            loop_allocs=list(payload.get("loop_allocs", ())),
+            loop_attr_repeats=list(payload.get("loop_attr_repeats", ())),
+            loop_global_lookups=list(payload.get("loop_global_lookups", ())),
+            loop_try_excepts=list(payload.get("loop_try_excepts", ())),
+            str_builds=[
+                (i[0], i[1], i[2]) for i in payload.get("str_builds", ())
             ],
         )
 
@@ -437,9 +500,15 @@ class FunctionAnalyzer:
             self.infer(node.value)
             return None
         if isinstance(node, ast.JoinedStr):
+            interpolates = False
             for value in node.values:
                 if isinstance(value, ast.FormattedValue):
+                    interpolates = True
                     self.infer(value.value)
+            if interpolates and not self._in_raise and self.fact is not None:
+                self.fact.str_builds.append(
+                    (node.lineno, node.col_offset, "f-string interpolation")
+                )
             return None
         if isinstance(node, (ast.Subscript, ast.Starred)):
             self.infer(node.value)
@@ -484,6 +553,15 @@ class FunctionAnalyzer:
                 return left_dim
             return left_dim if left_dim == right_dim else None
         if isinstance(node.op, ast.Mod):
+            if (
+                isinstance(node.left, ast.Constant)
+                and isinstance(node.left.value, str)
+                and not self._in_raise
+                and self.fact is not None
+            ):
+                self.fact.str_builds.append(
+                    (node.lineno, node.col_offset, "`%` string formatting")
+                )
             return left_dim
         return None
 
@@ -532,6 +610,7 @@ class FunctionAnalyzer:
             )
             self._check_io_call(node, raw, resolved, attr)
             self._check_parallel_call(node, raw, resolved, attr)
+            self._check_str_build_call(node, raw, attr)
 
         # Return dimension of the call, for flow through assignments.
         if resolved in _NS_CONSTRUCTORS:
@@ -568,6 +647,31 @@ class FunctionAnalyzer:
                 detail = f"calls `{raw}()` (logging; builds its message eagerly)"
         if detail is not None:
             self.fact.io_calls.append((node.lineno, node.col_offset, detail))
+
+    # -- SIM306 raw material -----------------------------------------------
+
+    def _check_str_build_call(self, node: ast.Call, raw: str, attr: str) -> None:
+        """Record ``repr(...)`` and ``"...".format(...)`` sites (SIM306).
+
+        f-strings and ``%`` formatting are caught expression-side in
+        :meth:`infer`; only call-shaped builders land here.  Error paths
+        (``raise``) are exempt, same as SIM104's I/O discipline.
+        """
+        if self._in_raise or self.fact is None:
+            return
+        if raw == "repr" and "repr" not in self.local_names:
+            self.fact.str_builds.append(
+                (node.lineno, node.col_offset, "`repr(...)`")
+            )
+        elif (
+            attr == "format"
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Constant)
+            and isinstance(node.func.value.value, str)
+        ):
+            self.fact.str_builds.append(
+                (node.lineno, node.col_offset, "`str.format(...)`")
+            )
 
     # -- SIM201-SIM205 raw material ----------------------------------------
 
@@ -936,6 +1040,13 @@ class FunctionAnalyzer:
             for condition in generator.ifs:
                 self.infer(condition)
 
+    # -- SIM301/303/304/305 raw material -----------------------------------
+
+    def _analyze_loop(self, loop: Union[ast.For, ast.While]) -> None:
+        """Per-iteration cost facts for one ``for``/``while`` statement."""
+        if self.fact is not None:
+            _LoopBodyCollector(self, loop).run()
+
     # -- statement walk ----------------------------------------------------
 
     def run(self, fact: FunctionFact, body: List[ast.stmt]) -> FunctionFact:
@@ -1028,10 +1139,12 @@ class FunctionAnalyzer:
             self._note_iteration(stmt.iter)
             self.infer(stmt.iter)
             self._assign_target(stmt.target, None, False)
+            self._analyze_loop(stmt)
             self._visit_block(stmt.body)
             self._visit_block(stmt.orelse)
         elif isinstance(stmt, ast.While):
             self.infer(stmt.test)
+            self._analyze_loop(stmt)
             self._visit_block(stmt.body)
             self._visit_block(stmt.orelse)
         elif isinstance(stmt, ast.If):
@@ -1083,3 +1196,295 @@ class FunctionAnalyzer:
                 if isinstance(inner, (ast.Assign, ast.AnnAssign)):
                     self._visit_stmt(inner)
         # Import/Global/Pass/etc. carry no expressions to analyze.
+
+
+class _LoopBodyCollector:
+    """Sub-walk of one loop body for the SIM3xx hot-path rules.
+
+    Scope rules, chosen so every record describes *per-iteration* cost:
+
+    - ``raise`` statements and ``except``-handler bodies are skipped --
+      error paths may allocate and format freely;
+    - nested ``for``/``while`` loops are not descended for reads (each
+      loop gets its own collector at its own visit);
+    - closure bodies (``lambda``/``def``) are recorded as allocations
+      but not descended -- their reads run when called, not here;
+    - ``orelse`` blocks run once after the loop and are excluded;
+    - a ``while`` loop's *test* is included (re-evaluated per iteration).
+
+    The **write** pre-scan is deliberately wider than the read walk: it
+    covers the full body *including* nested loops plus the ``for``
+    target (and any walrus in a ``while`` test), because a store
+    anywhere inside the iteration invalidates hoisting a load out of it.
+    """
+
+    def __init__(
+        self, analyzer: FunctionAnalyzer, loop: Union[ast.For, ast.While]
+    ) -> None:
+        self.analyzer = analyzer
+        self.loop = loop
+        self.allocs: List[Dict[str, Any]] = []
+        self.attr_sites: Dict[str, List[List[int]]] = {}
+        self.global_sites: Dict[Tuple[str, str], List[List[int]]] = {}
+        self.tries: List[Dict[str, Any]] = []
+        self.written: Set[str] = set()
+        write_roots: List[ast.AST] = list(loop.body)
+        if isinstance(loop, ast.For):
+            write_roots.append(loop.target)
+        else:
+            write_roots.append(loop.test)
+        for root in write_roots:
+            for node in ast.walk(root):
+                self._note_write(node)
+
+    def _note_write(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            self.written.add(node.id)
+        elif isinstance(node, ast.Attribute) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            dotted = dotted_name(node)
+            if dotted:
+                self.written.add(dotted)
+
+    # -- read walk ---------------------------------------------------------
+
+    def run(self) -> None:
+        if isinstance(self.loop, ast.While):
+            self._visit(self.loop.test)
+        for stmt in self.loop.body:
+            self._visit(stmt)
+        self._finish()
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.Raise, ast.For, ast.AsyncFor, ast.While)):
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._alloc(node, "closure", f"nested function `{node.name}`")
+            return
+        if isinstance(node, ast.Lambda):
+            self._alloc(node, "closure", "a `lambda` closure")
+            return
+        if isinstance(node, ast.Try):
+            self._note_try(node)
+            for stmt in [*node.body, *node.orelse, *node.finalbody]:
+                self._visit(stmt)
+            return
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            kinds = {
+                ast.ListComp: "a list comprehension",
+                ast.SetComp: "a set comprehension",
+                ast.DictComp: "a dict comprehension",
+                ast.GeneratorExp: "a generator expression",
+            }
+            self._alloc(node, "comprehension", kinds[type(node)])
+            return
+        if isinstance(node, ast.List) and isinstance(node.ctx, ast.Load):
+            self._alloc(node, "literal", "a list literal")
+        elif isinstance(node, ast.Set):
+            self._alloc(node, "literal", "a set literal")
+        elif isinstance(node, ast.Dict):
+            self._alloc(node, "literal", "a dict literal")
+        elif isinstance(node, ast.Tuple) and isinstance(node.ctx, ast.Load):
+            if any(isinstance(elt, ast.Starred) for elt in node.elts):
+                self._alloc(node, "literal", "a splatted (varying-size) tuple")
+        elif isinstance(node, ast.Call):
+            self._note_call(node)
+        elif isinstance(node, ast.Attribute):
+            if isinstance(node.ctx, ast.Load):
+                dotted = dotted_name(node)
+                if dotted:
+                    # The whole chain is one lookup site; don't recurse
+                    # into its parts or they double-count.
+                    self._note_chain(dotted, node)
+                    return
+            self._visit(node.value)
+            return
+        elif isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load):
+                self._note_name(node)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    # -- recorders ---------------------------------------------------------
+
+    @staticmethod
+    def _span(node: ast.AST) -> List[int]:
+        end_line = getattr(node, "end_lineno", None) or node.lineno  # type: ignore[attr-defined]
+        end_col = getattr(node, "end_col_offset", None)
+        if end_col is None:
+            end_col = node.col_offset  # type: ignore[attr-defined]
+        return [node.lineno, node.col_offset, end_line, end_col]  # type: ignore[attr-defined]
+
+    def _alloc(
+        self,
+        node: ast.AST,
+        what: str,
+        detail: str,
+        callee: str = "",
+        origin: Optional[str] = None,
+    ) -> None:
+        self.allocs.append(
+            {
+                "line": node.lineno,  # type: ignore[attr-defined]
+                "col": node.col_offset,  # type: ignore[attr-defined]
+                "loop_line": self.loop.lineno,
+                "what": what,
+                "detail": detail,
+                "callee": callee,
+                "origin": origin,
+            }
+        )
+
+    def _note_call(self, node: ast.Call) -> None:
+        dotted = dotted_name(node.func)
+        tail = dotted.rsplit(".", 1)[-1] if dotted else ""
+        if (
+            tail in _CONTAINER_CONSTRUCTORS
+            and dotted.split(".", 1)[0] not in self.analyzer.local_names
+        ):
+            self._alloc(node, "container", f"`{dotted}(...)`", callee=dotted)
+        elif tail[:1].isupper():
+            # CamelCase call: candidate class instantiation.  The rule
+            # confirms against the project model before flagging.
+            origin = self.analyzer.resolve_origin(node.func)
+            if origin is not None:
+                self._alloc(
+                    node, "call", f"`{dotted}(...)`", callee=dotted, origin=origin
+                )
+
+    def _note_chain(self, dotted: str, node: ast.Attribute) -> None:
+        head = dotted.split(".", 1)[0]
+        analyzer = self.analyzer
+        if head in analyzer.local_names:
+            self.attr_sites.setdefault(dotted, []).append(self._span(node))
+        elif head in analyzer.bindings or head in analyzer.module_symbols:
+            self.global_sites.setdefault((dotted, "global"), []).append(
+                self._span(node)
+            )
+
+    def _note_name(self, node: ast.Name) -> None:
+        name = node.id
+        analyzer = self.analyzer
+        if name in analyzer.local_names:
+            return
+        if name in analyzer.bindings or name in analyzer.module_symbols:
+            self.global_sites.setdefault((name, "global"), []).append(
+                self._span(node)
+            )
+        elif name in builtins.__dict__:
+            self.global_sites.setdefault((name, "builtin"), []).append(
+                self._span(node)
+            )
+
+    def _note_try(self, node: ast.Try) -> None:
+        types: List[str] = []
+        reraises_only = True
+        for handler in node.handlers:
+            types.extend(self._handler_types(handler.type))
+            if not (
+                len(handler.body) == 1 and isinstance(handler.body[0], ast.Raise)
+            ):
+                reraises_only = False
+        if node.handlers:
+            self.tries.append(
+                {
+                    "line": node.lineno,
+                    "col": node.col_offset,
+                    "loop_line": self.loop.lineno,
+                    "types": sorted(set(types)),
+                    "reraises_only": reraises_only,
+                }
+            )
+
+    @staticmethod
+    def _handler_types(type_node: Optional[ast.expr]) -> List[str]:
+        if type_node is None:
+            return ["BaseException"]
+        nodes = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+        out: List[str] = []
+        for sub in nodes:
+            dotted = dotted_name(sub)
+            if dotted:
+                out.append(dotted.rsplit(".", 1)[-1])
+        return out
+
+    # -- aggregation -------------------------------------------------------
+
+    def _written_prefix(self, chain: str) -> bool:
+        """Is the chain, or any prefix of it, stored to in the loop?"""
+        parts = chain.split(".")
+        return any(
+            ".".join(parts[:i]) in self.written for i in range(1, len(parts) + 1)
+        )
+
+    def _pick_alias(self, chain: str) -> Tuple[str, bool]:
+        """A local name the hoist fix can bind the chain to, plus
+        whether it is collision-free in this scope."""
+        parts = chain.split(".")
+        tail_parts = parts[1:] if parts[0] == "self" and len(parts) > 1 else parts
+        candidates = [tail_parts[-1], "_".join(tail_parts), "_" + tail_parts[-1]]
+        analyzer = self.analyzer
+        taken = (
+            analyzer.local_names
+            | set(analyzer.bindings)
+            | set(analyzer.module_symbols)
+            | set(builtins.__dict__)
+        )
+        for cand in dict.fromkeys(candidates):
+            if (
+                cand != parts[0]
+                and cand.isidentifier()
+                and not cand.startswith("__")
+                and cand not in taken
+            ):
+                return cand, True
+        return candidates[0], False
+
+    def _finish(self) -> None:
+        fact = self.analyzer.fact
+        if fact is None:
+            return
+        fact.loop_allocs.extend(self.allocs)
+        fact.loop_try_excepts.extend(self.tries)
+        loop_line = self.loop.lineno
+        loop_col = self.loop.col_offset
+        used_aliases: Set[str] = set()
+
+        def record(
+            out: List[Dict[str, Any]],
+            key: str,
+            name: str,
+            sites: List[List[int]],
+            extra: Dict[str, Any],
+        ) -> None:
+            alias, alias_ok = self._pick_alias(name)
+            if alias_ok and alias in used_aliases:
+                alias_ok = False
+            if alias_ok:
+                used_aliases.add(alias)
+            entry = {
+                "loop_line": loop_line,
+                "loop_col": loop_col,
+                key: name,
+                "count": len(sites),
+                "sites": sorted(sites),
+                "alias": alias,
+                "alias_ok": alias_ok,
+            }
+            entry.update(extra)
+            out.append(entry)
+
+        for chain, sites in sorted(self.attr_sites.items()):
+            if len(sites) >= 2 and not self._written_prefix(chain):
+                record(fact.loop_attr_repeats, "chain", chain, sites, {})
+        for (name, kind), sites in sorted(self.global_sites.items()):
+            if len(sites) >= 2 and not self._written_prefix(name):
+                record(
+                    fact.loop_global_lookups, "name", name, sites, {"kind": kind}
+                )

@@ -1,0 +1,260 @@
+"""Hot-path reachability + profile ranking under the SIM3xx rules.
+
+The SIM104 purity rule introduced the idea of the *hot path*: every
+function reachable, through the approximate call graph, from the
+modules the paper's forwarding pipeline lives in (the event kernel, the
+switch, the host NIC model, the queue structures).  The SIM3xx
+performance family (:mod:`repro.lint.project_rules`) needs the same
+closure, so this module hoists it into one shared, memoized pass --
+:func:`analyze_hotpath` -- that SIM104 and SIM301-SIM306 all consume.
+
+The second half is the **profile-guided mode**: :class:`ProfileIndex`
+ingests a ``cProfile``/``pstats`` dump (produced by ``repro-qos profile
+run`` or any ``python -m cProfile -o ...`` invocation), maps cumulative
+time onto project-model functions by ``(file, def-line)`` -- falling
+back to the bare function name -- and :func:`annotate_profile` ranks
+SIM3xx findings by measured cost:
+
+- the top decile (by cumulative seconds) is flagged ``hot:``;
+- findings whose function never appeared in the profile (or measured
+  zero) are demoted to ``note`` severity -- real anti-patterns, but not
+  where the time goes *in the profiled workload*;
+- everything in between is ``warm``.
+
+The bucket plus the measured seconds ride on
+:attr:`repro.lint.violations.Violation.profile` and round-trip through
+the JSON and SARIF emitters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from weakref import WeakKeyDictionary
+
+from repro.lint.callgraph import CallGraph, Node
+from repro.lint.dataflow import FunctionFact
+from repro.lint.projectmodel import ModuleSummary, ProjectModel
+from repro.lint.violations import Violation
+
+__all__ = [
+    "HOT_PATH_PATTERNS",
+    "SANCTIONED_PATH_PATTERNS",
+    "HotPathAnalysis",
+    "ProfileIndex",
+    "analyze_hotpath",
+    "annotate_profile",
+    "is_sanctioned",
+]
+
+#: The hot path named by the paper's forwarding pipeline: the event
+#: kernel, the switch, the source-host NIC model, and the queue
+#: structures under study.  Substring-matched against summary paths
+#: (same contract as :meth:`CallGraph.nodes_in_modules`).
+HOT_PATH_PATTERNS: Tuple[str, ...] = (
+    "sim/engine.py",
+    "network/switch.py",
+    "network/host.py",
+    "core/queues/",
+)
+
+#: Sanctioned subsystems: the observability layer (``obs/``) is the one
+#: blessed way to look at the hot path and its overhead is policed by a
+#: dedicated benchmark; the campaign runner (``exec/``) does its work
+#: between simulations, never inside one.
+SANCTIONED_PATH_PATTERNS: Tuple[str, ...] = ("obs/", "exec/")
+
+
+def is_sanctioned(path: str) -> bool:
+    """Whether findings in ``path`` are exempt from hot-path rules."""
+    return any(
+        path.startswith(pattern) or f"/{pattern}" in path
+        for pattern in SANCTIONED_PATH_PATTERNS
+    )
+
+
+@dataclass
+class HotPathAnalysis:
+    """The engine-reachable closure over one project model."""
+
+    #: Every function defined in a hot-path module.
+    roots: Set[Node]
+    #: Reachable node -> the root that witnesses its reachability.
+    reachable: Dict[Node, Node]
+
+
+_CACHE: "WeakKeyDictionary[CallGraph, HotPathAnalysis]" = WeakKeyDictionary()
+
+
+def analyze_hotpath(model: ProjectModel, graph: CallGraph) -> HotPathAnalysis:
+    """Compute (once per call graph) the hot-path closure SIM104 and the
+    SIM3xx rules share."""
+    cached = _CACHE.get(graph)
+    if cached is not None:
+        return cached
+    roots = graph.nodes_in_modules(HOT_PATH_PATTERNS)
+    analysis = HotPathAnalysis(
+        roots=roots, reachable=graph.reachable_from(roots)
+    )
+    _CACHE[graph] = analysis
+    return analysis
+
+
+def iter_hot_facts(
+    model: ProjectModel, graph: CallGraph
+) -> Iterator[Tuple[Node, ModuleSummary, FunctionFact, str]]:
+    """Hot-reachable ``(node, summary, fact, witness_path)`` quadruples
+    in deterministic node order, sanctioned subsystems excluded."""
+    analysis = analyze_hotpath(model, graph)
+    for node in sorted(analysis.reachable):
+        summary = graph.summary_of(node)
+        if summary is None or is_sanctioned(summary.path):
+            continue
+        fact = summary.functions.get(node[1])
+        if fact is None:
+            continue
+        witness = analysis.reachable[node]
+        witness_summary = graph.summary_of(witness)
+        witness_path = witness_summary.path if witness_summary else summary.path
+        yield node, summary, fact, witness_path
+
+
+# ----------------------------------------------------------------------
+# profile-guided ranking
+# ----------------------------------------------------------------------
+class ProfileIndex:
+    """Cumulative-time lookup over one ``pstats`` dump.
+
+    Entries are indexed by file basename; a lookup matches when the
+    profiled filename and the model path agree on their common suffix
+    *and* either the function's ``def`` line or its bare name matches
+    (cProfile keys functions by definition line, which survives the
+    relative-vs-absolute path mismatch between a profile taken anywhere
+    and a lint run rooted elsewhere).
+    """
+
+    def __init__(
+        self,
+        entries: Sequence[Tuple[str, int, str, float]],
+        total_seconds: float,
+    ) -> None:
+        self.total_seconds = total_seconds
+        self._by_base: Dict[str, List[Tuple[str, int, str, float]]] = {}
+        for filename, lineno, funcname, cum in entries:
+            base = filename.rsplit("/", 1)[-1]
+            self._by_base.setdefault(base, []).append(
+                (filename, lineno, funcname, cum)
+            )
+
+    @classmethod
+    def load(cls, path: Union[str, "object"]) -> "ProfileIndex":
+        """Read a cProfile/pstats dump.  Raises :class:`FileNotFoundError`
+        when missing and :class:`ValueError` when unreadable."""
+        import pstats
+
+        try:
+            stats = pstats.Stats(str(path))
+        except FileNotFoundError:
+            raise
+        except Exception as exc:  # marshal errors, truncated dumps, ...
+            raise ValueError(f"not a readable pstats dump: {path} ({exc})")
+        entries: List[Tuple[str, int, str, float]] = []
+        raw: Dict[Any, Any] = getattr(stats, "stats", {})
+        for (filename, lineno, funcname), row in raw.items():
+            cum = float(row[3])
+            posix = str(filename).replace("\\", "/")
+            if posix.startswith("~") or posix.startswith("<"):
+                continue  # builtins / compiled / <string> frames
+            entries.append((posix, int(lineno), str(funcname), cum))
+        total = float(getattr(stats, "total_tt", 0.0))
+        return cls(entries, total)
+
+    def cumtime_for(self, path: str, line: int, name: str) -> Optional[float]:
+        """Cumulative seconds for the function defined at ``path:line``
+        (bare-name fallback), or ``None`` when the profile never saw it."""
+        base = path.rsplit("/", 1)[-1]
+        best: Optional[float] = None
+        for filename, lineno, funcname, cum in self._by_base.get(base, ()):
+            if not (
+                filename == path
+                or filename.endswith("/" + path)
+                or path.endswith("/" + filename)
+            ):
+                continue
+            if lineno == line or funcname == name:
+                if best is None or cum > best:
+                    best = cum
+        return best
+
+
+def _enclosing_fact(
+    summary: ModuleSummary, line: int
+) -> Optional[FunctionFact]:
+    """The function whose body contains ``line`` (nearest preceding
+    ``def``; module level only as a last resort)."""
+    best: Optional[FunctionFact] = None
+    for fact in summary.functions.values():
+        if fact.qualname == "<module>":
+            continue
+        if fact.line <= line and (best is None or fact.line > best.line):
+            best = fact
+    return best or summary.functions.get("<module>")
+
+
+def annotate_profile(
+    violations: Sequence[Violation],
+    model: ProjectModel,
+    index: ProfileIndex,
+) -> Tuple[List[Violation], Dict[str, Any]]:
+    """Attach ``{bucket, cum_seconds, fraction}`` to every SIM3xx
+    finding, ranking by measured cumulative time.
+
+    Returns the annotated list (same order) plus summary stats for the
+    runner's ``--format json`` block.
+    """
+    annotated = list(violations)
+    ranked: List[Tuple[int, Optional[float]]] = []
+    for i, violation in enumerate(annotated):
+        if not violation.rule_id.startswith("SIM3"):
+            continue
+        cum: Optional[float] = None
+        summary = model.by_path.get(violation.path)
+        if summary is not None:
+            fact = _enclosing_fact(summary, violation.line)
+            if fact is not None:
+                bare = fact.qualname.rsplit(".", 1)[-1]
+                cum = index.cumtime_for(violation.path, fact.line, bare)
+        ranked.append((i, cum))
+
+    timed = sorted(
+        [(i, c) for i, c in ranked if c is not None and c > 0.0],
+        key=lambda item: (-item[1], item[0]),
+    )
+    hot_count = max(1, math.ceil(len(timed) / 10)) if timed else 0
+    hot_indices = {i for i, _ in timed[:hot_count]}
+    total = index.total_seconds
+    counts = {"hot": 0, "warm": 0, "cold": 0}
+    for i, cum in ranked:
+        if cum is None or cum <= 0.0:
+            bucket = "cold"
+        elif i in hot_indices:
+            bucket = "hot"
+        else:
+            bucket = "warm"
+        counts[bucket] += 1
+        annotated[i] = replace(
+            annotated[i],
+            profile={
+                "bucket": bucket,
+                "cum_seconds": round(cum, 6) if cum else 0.0,
+                "fraction": round(cum / total, 6) if cum and total else 0.0,
+            },
+        )
+    stats: Dict[str, Any] = {
+        "total_seconds": round(total, 6),
+        "ranked": len(ranked),
+        "matched": len(timed),
+    }
+    stats.update(counts)
+    return annotated, stats

@@ -32,12 +32,28 @@ SIM204    non-atomic-shared-write      worker-reachable file writes
                                        without write-temp-then-replace
 SIM205    worker-env-mutation          ``os.environ`` writes reachable
                                        from workers
+SIM301    hot-loop-allocation          per-iteration object construction
+                                       (literals, comprehensions,
+                                       closures, class instantiation) in
+                                       loops of engine-reachable code
+SIM302    hot-missing-slots            classes instantiated from hot
+                                       code without ``__slots__``
+SIM303    hot-attr-reload              attribute chain read 2+ times per
+                                       hot-loop iteration, no write
+SIM304    hot-global-lookup            global/builtin name looked up 2+
+                                       times per hot-loop iteration
+SIM305    hot-exception-flow           try/except KeyError etc. as
+                                       control flow inside hot loops
+SIM306    hot-eager-str                f-string/%%/.format/repr on the
+                                       hot path outside obs and raises
 ========  ===========================  ====================================
 
 The SIM2xx rules run over the worker-reachability closure computed by
-:mod:`repro.lint.parallel`; some findings carry a machine-applicable
-``fix`` payload that ``repro-qos lint --fix`` consumes
-(:mod:`repro.lint.fixes`).
+:mod:`repro.lint.parallel`; the SIM3xx performance family runs over the
+engine-reachability closure from :mod:`repro.lint.hotpath` and is the
+family the profile-guided mode (``--profile prof.pstats``) ranks by
+measured cost.  Some findings carry a machine-applicable ``fix`` payload
+that ``repro-qos lint --fix`` consumes (:mod:`repro.lint.fixes`).
 
 A finding is suppressed on its line with ``# simlint: allow-<name>`` or
 ``# simlint: allow-sim1xx`` (the lowercase rule id works as a pragma
@@ -46,10 +62,17 @@ alias for every rule).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Optional, Tuple, Type
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple, Type
 
 from repro.lint.callgraph import CallGraph, Node
 from repro.lint.dataflow import classify_name, dims_compatible
+from repro.lint.hotpath import (
+    HOT_PATH_PATTERNS,
+    SANCTIONED_PATH_PATTERNS,
+    analyze_hotpath,
+    is_sanctioned,
+    iter_hot_facts,
+)
 from repro.lint.parallel import ParallelAnalysis, SubmissionSite, analyze_parallel
 from repro.lint.projectmodel import ModuleSummary, ProjectModel
 from repro.lint.violations import Violation
@@ -359,35 +382,15 @@ class HotPathPurityRule(ProjectRule):
         "            raise ValueError(f'bad size {pkt}')  # error path: fine\n"
     )
 
-    #: The hot path named by the paper's forwarding pipeline.
-    HOT_PATH_PATTERNS = ("sim/engine.py", "network/switch.py", "core/queues/")
-    #: Sanctioned subsystems: modules under an ``obs/`` directory (the
-    #: repro.obs observability layer) may be called from the hot path --
-    #: their cost is policed by benchmarks, not by this rule -- and
-    #: modules under an ``exec/`` directory (the repro.exec campaign
-    #: runner), whose process/file I/O happens between simulations.
-    SANCTIONED_PATH_PATTERNS = ("obs/", "exec/")
-
-    def _sanctioned(self, path: str) -> bool:
-        return any(
-            path.startswith(pattern) or f"/{pattern}" in path
-            for pattern in self.SANCTIONED_PATH_PATTERNS
-        )
+    #: Kept as aliases so existing callers (tests, docs) keep working;
+    #: the closure itself now comes from the shared hot-path pass.
+    HOT_PATH_PATTERNS = HOT_PATH_PATTERNS
+    SANCTIONED_PATH_PATTERNS = SANCTIONED_PATH_PATTERNS
 
     def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
-        roots = graph.nodes_in_modules(self.HOT_PATH_PATTERNS)
-        witness = graph.reachable_from(roots)
-        for node, root in sorted(witness.items()):
-            summary = graph.summary_of(node)
-            if summary is None:
-                continue
-            if self._sanctioned(summary.path):
-                continue
-            fact = summary.functions.get(node[1])
-            if fact is None:
-                continue
-            root_summary = graph.summary_of(root)
-            root_path = root_summary.path if root_summary else node[0]
+        analysis = analyze_hotpath(model, graph)
+        for node, summary, fact, root_path in iter_hot_facts(model, graph):
+            root = analysis.reachable[node]
             for line, col, detail in fact.io_calls:
                 yield self._violation(
                     summary.path,
@@ -786,4 +789,454 @@ class WorkerEnvMutationRule(ProjectRule):
                     "other workers and the parent "
                     f"({analysis.reason_for(node)})",
                     (summary.path, witness_path),
+                )
+
+
+# ----------------------------------------------------------------------
+# SIM3xx: hot-path performance (engine-reachability based)
+# ----------------------------------------------------------------------
+def _hot_function_facts(
+    model: ProjectModel, graph: CallGraph
+) -> Iterator[Tuple[Node, ModuleSummary, Any, str]]:
+    """:func:`iter_hot_facts` minus module-level pseudo-functions:
+    import-time code runs once per process, never per event, so the
+    per-iteration cost arguments behind SIM301-SIM306 do not apply."""
+    for node, summary, fact, root_path in iter_hot_facts(model, graph):
+        if node[1] == "<module>":
+            continue
+        yield node, summary, fact, root_path
+
+
+def _looks_like_exception(name: str, bases: Iterable[str]) -> bool:
+    """Conventional-name test for exception classes: instantiated on
+    raise paths, not per event, so ``__slots__`` buys nothing (and the
+    BaseException machinery already manages the instance layout)."""
+    suffixes = ("Error", "Exception", "Warning", "Violation", "Interrupt")
+    if name.endswith(suffixes):
+        return True
+    return any(
+        base.rsplit(".", 1)[-1].endswith(suffixes)
+        or base.rsplit(".", 1)[-1] in ("BaseException", "KeyboardInterrupt")
+        for base in bases
+    )
+
+
+def _hoist_fix(
+    path: str,
+    rec: Dict[str, Any],
+    target: str,
+    description: str,
+) -> Optional[Dict[str, Any]]:
+    """The SIM303/SIM304 machine fix: bind ``target`` to a local alias
+    just above the loop and rewrite every load site to the alias.
+
+    ``None`` when the collector could not find a collision-free alias;
+    the finding still fires, the rewrite is just left to a human.
+    """
+    if not rec.get("alias_ok"):
+        return None
+    alias = str(rec["alias"])
+    pad = " " * int(rec["loop_col"])
+    loop_line = int(rec["loop_line"])
+    edits: list[Dict[str, Any]] = [
+        {
+            "start_line": loop_line,
+            "start_col": 0,
+            "end_line": loop_line,
+            "end_col": 0,
+            "replacement": f"{pad}{alias} = {target}\n",
+        }
+    ]
+    for site in rec["sites"]:
+        edits.append(
+            {
+                "start_line": int(site[0]),
+                "start_col": int(site[1]),
+                "end_line": int(site[2]),
+                "end_col": int(site[3]),
+                "replacement": alias,
+            }
+        )
+    return {
+        "kind": "hoist-loop-load",
+        "path": path,
+        "description": description,
+        "edits": edits,
+    }
+
+
+@register_project_rule
+class HotLoopAllocationRule(ProjectRule):
+    id = "SIM301"
+    name = "hot-loop-allocation"
+    description = (
+        "no fresh objects per iteration in hot loops: list/dict/set "
+        "literals, comprehensions, closures, varying-size tuples, and "
+        "project-class instantiations inside loops of engine-reachable "
+        "functions allocate on every pass"
+    )
+    rationale = (
+        "The forwarding pipeline executes its loops once per packet per "
+        "hop; a literal or closure inside such a loop turns every "
+        "iteration into an allocator round-trip and a future GC sweep.  "
+        "CPython allocation is ~100ns -- at millions of events per run "
+        "that is real simulated-seconds-per-wall-hour lost.  Hoist the "
+        "object out of the loop, preallocate a buffer, or restructure "
+        "so the allocation happens once.  Allocations that *are* the "
+        "workload (constructing the packets being injected) get a "
+        "justified `# simlint: allow-hot-loop-allocation` pragma.  "
+        "Error paths (`raise`, except handlers) are exempt."
+    )
+    example_bad = (
+        "# core/queues/hot.py\n"
+        "def drain(self, batch):\n"
+        "    out = []\n"
+        "    for item in batch:\n"
+        "        out.append([item.a, item.b])   # fresh list per packet\n"
+    )
+    example_good = (
+        "# core/queues/hot.py\n"
+        "def drain(self, batch):\n"
+        "    return list(batch)                 # one allocation, outside\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        for node, summary, fact, root_path in _hot_function_facts(model, graph):
+            for rec in fact.loop_allocs:
+                detail = str(rec["detail"])
+                if rec["what"] == "call":
+                    resolved = model.resolve_symbol(str(rec["origin"]))
+                    if resolved is None:
+                        continue
+                    owner, symbol = resolved
+                    if "." in symbol or owner.symbols.get(symbol) != "class":
+                        continue
+                    detail = f"an instance of `{symbol}`"
+                yield self._violation(
+                    summary.path,
+                    int(rec["line"]),
+                    int(rec["col"]),
+                    f"allocation in a hot loop: {detail} is built on "
+                    f"every iteration of the loop at line "
+                    f"{rec['loop_line']} in `{node[1]}`; hoist it out, "
+                    "preallocate, or reuse a buffer",
+                    (summary.path, root_path),
+                )
+
+
+@register_project_rule
+class HotMissingSlotsRule(ProjectRule):
+    id = "SIM302"
+    name = "hot-missing-slots"
+    description = (
+        "classes instantiated from engine-reachable code must declare "
+        "__slots__: a per-instance __dict__ costs ~100 extra bytes and "
+        "a hash lookup on every attribute access"
+    )
+    rationale = (
+        "Hot code constructs these objects by the million (packets, "
+        "event handles, queue entries).  Without __slots__ each "
+        "instance drags a dict: more allocator pressure, worse cache "
+        "locality, and slower attribute access on every later hot-path "
+        "read.  The fix synthesises the tuple from the `self.x = ...` "
+        "stores in `__init__`.  Decorated classes (dataclasses etc.) "
+        "are skipped -- their machinery owns the layout -- and the "
+        "speedup needs the whole inheritance chain slotted, so check "
+        "the bases after applying."
+    )
+    example_bad = (
+        "class Tracker:              # instantiated from hot code\n"
+        "    def __init__(self, start):\n"
+        "        self.count = start\n"
+    )
+    example_good = (
+        "class Tracker:\n"
+        "    __slots__ = (\"count\",)\n"
+        "    def __init__(self, start):\n"
+        "        self.count = start\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        seen: set[Tuple[str, str]] = set()
+        for node, summary, fact, root_path in _hot_function_facts(model, graph):
+            for call in fact.calls:
+                if call.resolved is None:
+                    continue
+                resolved = model.resolve_symbol(call.resolved)
+                if resolved is None:
+                    continue
+                owner, symbol = resolved
+                if "." in symbol or owner.symbols.get(symbol) != "class":
+                    continue
+                info = owner.classes.get(symbol)
+                if info is None or info["has_slots"] or info["decorated"]:
+                    continue
+                if _looks_like_exception(symbol, info.get("bases", ())):
+                    continue
+                if is_sanctioned(owner.path):
+                    continue
+                key = (owner.path, symbol)
+                if key in seen:
+                    continue
+                seen.add(key)
+                fix: Optional[Dict[str, Any]] = None
+                attrs = list(info.get("init_attrs", ()))
+                if attrs:
+                    pad = " " * int(info["indent"])
+                    items = ", ".join(f'"{attr}"' for attr in attrs)
+                    if len(attrs) == 1:
+                        items += ","
+                    fix = {
+                        "kind": "insert-slots",
+                        "path": owner.path,
+                        "description": (
+                            f"declare `__slots__` on `{symbol}` from its "
+                            "`__init__` attributes"
+                        ),
+                        "edits": [
+                            {
+                                "start_line": int(info["insert_line"]),
+                                "start_col": 0,
+                                "end_line": int(info["insert_line"]),
+                                "end_col": 0,
+                                "replacement": (
+                                    f"{pad}__slots__ = ({items})\n\n"
+                                ),
+                            }
+                        ],
+                    }
+                yield self._violation(
+                    owner.path,
+                    int(info["line"]),
+                    int(info["col"]),
+                    f"`{symbol}` is instantiated from hot-path "
+                    f"`{node[1]}` (line {call.line}) but declares no "
+                    "`__slots__`; every instance carries a dict",
+                    (owner.path, summary.path, root_path),
+                    fix=fix,
+                )
+
+
+@register_project_rule
+class HotAttrReloadRule(ProjectRule):
+    id = "SIM303"
+    name = "hot-attr-reload"
+    description = (
+        "an attribute chain read 2+ times per iteration of a hot loop "
+        "(with no intervening write) pays the descriptor lookup every "
+        "time; hoist it into a local before the loop"
+    )
+    rationale = (
+        "`self._heap` resolved inside the loop costs a dict/descriptor "
+        "lookup per read per iteration; a local costs an array index.  "
+        "engine.run() already does this by hand (`heap = self._heap`).  "
+        "The analyzer only fires when nothing in the loop (including "
+        "nested loops) stores to the chain or a prefix of it, and the "
+        "machine fix rewrites every site to a collision-checked local.  "
+        "Caveat: hoisting a *property* with side effects or a "
+        "time-varying value is a semantic change -- review such sites "
+        "or pragma them."
+    )
+    example_bad = (
+        "def total(self, packets):\n"
+        "    n = 0\n"
+        "    for pkt in packets:\n"
+        "        if self.slots is not None:\n"
+        "            n += len(self.slots)    # 2nd load, same iteration\n"
+    )
+    example_good = (
+        "def total(self, packets):\n"
+        "    n = 0\n"
+        "    slots = self.slots              # one load, before the loop\n"
+        "    for pkt in packets:\n"
+        "        if slots is not None:\n"
+        "            n += len(slots)\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        for node, summary, fact, root_path in _hot_function_facts(model, graph):
+            for rec in fact.loop_attr_repeats:
+                chain = str(rec["chain"])
+                site = rec["sites"][0]
+                fix = _hoist_fix(
+                    summary.path,
+                    rec,
+                    chain,
+                    f"hoist `{chain}` to local `{rec['alias']}` above "
+                    f"the loop at line {rec['loop_line']}",
+                )
+                yield self._violation(
+                    summary.path,
+                    int(site[0]),
+                    int(site[1]),
+                    f"`{chain}` is read {rec['count']}x per iteration "
+                    f"of the hot loop at line {rec['loop_line']} in "
+                    f"`{node[1]}` with no intervening write; hoist it "
+                    "into a local before the loop",
+                    (summary.path, root_path),
+                    fix=fix,
+                )
+
+
+@register_project_rule
+class HotGlobalLookupRule(ProjectRule):
+    id = "SIM304"
+    name = "hot-global-lookup"
+    description = (
+        "a global or builtin name looked up 2+ times per iteration of "
+        "a hot loop pays two dict probes (module then builtins) each "
+        "time; bind it to a local alias before the loop"
+    )
+    rationale = (
+        "CPython resolves a global/builtin name through the module "
+        "namespace and then the builtins dict on *every* evaluation; "
+        "locals are array slots.  engine.run() aliases "
+        "`pop = heapq.heappop` by hand for exactly this reason.  The "
+        "machine fix inserts the alias binding above the loop and "
+        "rewrites every lookup site; builtin aliases get a leading "
+        "underscore (`_len = len`) so the alias never shadows the name "
+        "it captures."
+    )
+    example_bad = (
+        "import heapq\n"
+        "def merge(self, items, extra):\n"
+        "    for value in extra:\n"
+        "        heapq.heappush(items, value)      # 2 dict probes\n"
+        "        heapq.heappush(items, value + 1)  # ... per site\n"
+    )
+    example_good = (
+        "import heapq\n"
+        "def merge(self, items, extra):\n"
+        "    heappush = heapq.heappush             # bound once\n"
+        "    for value in extra:\n"
+        "        heappush(items, value)\n"
+        "        heappush(items, value + 1)\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        for node, summary, fact, root_path in _hot_function_facts(model, graph):
+            for rec in fact.loop_global_lookups:
+                name = str(rec["name"])
+                site = rec["sites"][0]
+                fix = _hoist_fix(
+                    summary.path,
+                    rec,
+                    name,
+                    f"alias {rec['kind']} `{name}` as local "
+                    f"`{rec['alias']}` above the loop at line "
+                    f"{rec['loop_line']}",
+                )
+                yield self._violation(
+                    summary.path,
+                    int(site[0]),
+                    int(site[1]),
+                    f"{rec['kind']} `{name}` is looked up "
+                    f"{rec['count']}x per iteration of the hot loop at "
+                    f"line {rec['loop_line']} in `{node[1]}`; bind it "
+                    "to a local alias before the loop",
+                    (summary.path, root_path),
+                    fix=fix,
+                )
+
+
+@register_project_rule
+class HotExceptionFlowRule(ProjectRule):
+    id = "SIM305"
+    name = "hot-exception-flow"
+    description = (
+        "try/except used for expected cases inside a hot loop: "
+        "KeyError/IndexError/AttributeError/StopIteration handlers "
+        "that do real work signal control flow by exception, which "
+        "costs an exception object + traceback per miss"
+    )
+    rationale = (
+        "Raising is fine when exceptional; in a hot loop where the "
+        "'miss' is a routine outcome (absent dict key, drained list), "
+        "each miss allocates an exception instance and unwinds a "
+        "frame -- an order of magnitude over `dict.get`, a length "
+        "check, or iterator protocol.  Handlers that merely re-raise "
+        "are exempt (that is error propagation, not control flow), as "
+        "are handlers for types outside the cheap-check set."
+    )
+    example_bad = (
+        "for key in keys:\n"
+        "    try:\n"
+        "        out.append(table[key])   # miss is a routine case\n"
+        "    except KeyError:\n"
+        "        out.append(None)\n"
+    )
+    example_good = (
+        "for key in keys:\n"
+        "    out.append(table.get(key))   # one probe, no unwinding\n"
+    )
+
+    #: Exception types with a cheap non-raising equivalent.
+    CHEAP_CHECK_TYPES = frozenset(
+        {"KeyError", "IndexError", "AttributeError", "StopIteration"}
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        for node, summary, fact, root_path in _hot_function_facts(model, graph):
+            for rec in fact.loop_try_excepts:
+                if rec.get("reraises_only"):
+                    continue
+                cheap = sorted(self.CHEAP_CHECK_TYPES & set(rec["types"]))
+                if not cheap:
+                    continue
+                yield self._violation(
+                    summary.path,
+                    int(rec["line"]),
+                    int(rec["col"]),
+                    f"try/except {'/'.join(cheap)} inside the hot loop "
+                    f"at line {rec['loop_line']} in `{node[1]}` treats "
+                    "an expected case as an exception; use .get()/a "
+                    "length check/iterator protocol instead",
+                    (summary.path, root_path),
+                )
+
+
+@register_project_rule
+class HotEagerStringRule(ProjectRule):
+    id = "SIM306"
+    name = "hot-eager-str"
+    description = (
+        "f-strings, %-formatting, str.format and repr() on the hot "
+        "path build strings nobody may ever read; outside the obs "
+        "layer the hot path must not format"
+    )
+    rationale = (
+        "String interpolation allocates and formats unconditionally -- "
+        "even when the result feeds a disabled trace or a metric that "
+        "is never scraped.  The observability layer is sanctioned (its "
+        "cost is budgeted and benchmarked); `raise` paths are exempt "
+        "(the message costs nothing until the invariant breaks), and "
+        "so are `__repr__`/`__str__` (formatting *is* their job -- "
+        "callers pay only when they ask).  Everything else on the hot "
+        "path should format lazily or not at all; one-time setup code "
+        "that trips the rule gets a justified pragma."
+    )
+    example_bad = (
+        "def label(self, pkt):            # hot-reachable\n"
+        "    return f\"{self.prefix}:{pkt.uid}\"   # formats per packet\n"
+    )
+    example_good = (
+        "def describe(self, pkt):\n"
+        "    if pkt is None:\n"
+        "        raise ValueError(f\"no packet for {self.prefix}\")\n"
+        "    return (self.prefix, pkt.uid)  # tuple, formatted on demand\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        for node, summary, fact, root_path in _hot_function_facts(model, graph):
+            if node[1].endswith(("__repr__", "__str__")):
+                continue
+            for line, col, detail in fact.str_builds:
+                yield self._violation(
+                    summary.path,
+                    line,
+                    col,
+                    f"eager string building in hot-path `{node[1]}`: "
+                    f"{detail} formats on every execution; move it to "
+                    "an error path, the obs layer, or format lazily",
+                    (summary.path, root_path),
                 )

@@ -65,6 +65,11 @@ class ModuleSummary:
     exports: List[Tuple[str, int, int]] = field(default_factory=list)
     #: Top-level name -> "function" | "class" | "other".
     symbols: Dict[str, str] = field(default_factory=dict)
+    #: Per top-level class: ``{"line", "col", "has_slots", "decorated",
+    #: "bases", "init_attrs", "insert_line", "indent"}`` -- what SIM302
+    #: needs to flag a slot-less class and synthesise the ``__slots__``
+    #: tuple from its ``__init__``'s ``self.x`` stores.
+    classes: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: Local name -> absolute dotted origin, from the import statements.
     bindings: Dict[str, str] = field(default_factory=dict)
     #: Module-level names bound to mutable containers / registry-style
@@ -90,6 +95,7 @@ class ModuleSummary:
             "is_package": self.is_package,
             "exports": [list(item) for item in self.exports],
             "symbols": self.symbols,
+            "classes": self.classes,
             "bindings": self.bindings,
             "mutable_globals": {
                 name: list(item) for name, item in self.mutable_globals.items()
@@ -111,6 +117,10 @@ class ModuleSummary:
             is_package=payload["is_package"],
             exports=[(e[0], e[1], e[2]) for e in payload["exports"]],
             symbols=dict(payload["symbols"]),
+            classes={
+                name: dict(info)
+                for name, info in payload.get("classes", {}).items()
+            },
             bindings=dict(payload["bindings"]),
             mutable_globals={
                 name: (item[0], item[1], item[2])
@@ -189,6 +199,67 @@ def _collect_symbols(tree: ast.Module) -> Dict[str, str]:
             if isinstance(stmt.target, ast.Name):
                 symbols.setdefault(stmt.target.id, "other")
     return symbols
+
+
+def _collect_classes(tree: ast.Module) -> Dict[str, Dict[str, Any]]:
+    """Layout facts per top-level class (SIM302's raw material)."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.ClassDef):
+            continue
+        has_slots = False
+        init_attrs: List[str] = []
+        for item in stmt.body:
+            targets: List[ast.expr] = []
+            if isinstance(item, ast.Assign):
+                targets = item.targets
+            elif isinstance(item, ast.AnnAssign):
+                targets = [item.target]
+            if any(
+                isinstance(t, ast.Name) and t.id == "__slots__" for t in targets
+            ):
+                has_slots = True
+            if (
+                isinstance(item, ast.FunctionDef)
+                and item.name == "__init__"
+            ):
+                seen: Dict[str, None] = {}
+                for node in ast.walk(item):
+                    if (
+                        isinstance(node, ast.Attribute)
+                        and isinstance(node.ctx, ast.Store)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == "self"
+                    ):
+                        seen.setdefault(node.attr)
+                init_attrs = list(seen)
+        # Where a synthesised `__slots__` line goes: before the first
+        # statement after the docstring, at that statement's indent.
+        body = stmt.body
+        first = body[0]
+        is_docstring = (
+            isinstance(first, ast.Expr)
+            and isinstance(first.value, ast.Constant)
+            and isinstance(first.value.value, str)
+        )
+        anchor = body[1] if is_docstring and len(body) > 1 else first
+        if is_docstring and len(body) == 1:
+            insert_line = (first.end_lineno or first.lineno) + 1
+            indent = first.col_offset
+        else:
+            insert_line = anchor.lineno
+            indent = anchor.col_offset
+        out[stmt.name] = {
+            "line": stmt.lineno,
+            "col": stmt.col_offset,
+            "has_slots": has_slots,
+            "decorated": bool(stmt.decorator_list),
+            "bases": [dotted_name(base) for base in stmt.bases],
+            "init_attrs": init_attrs,
+            "insert_line": insert_line,
+            "indent": indent,
+        }
+    return out
 
 
 #: Constructor call names whose result is a mutable container.
@@ -318,6 +389,7 @@ def extract_summary(source: str, path: str, *, tree: Optional[ast.Module] = None
         is_package=is_package,
         exports=_collect_exports(tree),
         symbols=symbols,
+        classes=_collect_classes(tree),
         bindings=bindings,
         mutable_globals=_collect_mutable_globals(tree),
         star_imports=star_imports,

@@ -3,8 +3,19 @@
 from __future__ import annotations
 
 import ast
+import hashlib
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.lint.pragmas import allowed_by_line, parse_pragmas
 from repro.lint.rules import RULES, Rule
@@ -195,7 +206,8 @@ def lint_project(
     *,
     cache_dir: Optional[PathLike] = None,
     select: Optional[Iterable[str]] = None,
-) -> Tuple[List[Violation], Dict[str, int]]:
+    profile: Optional[PathLike] = None,
+) -> Tuple[List[Violation], Dict[str, Any]]:
     """Whole-program lint: per-file SIM0xx rules *plus* the
     interprocedural SIM1xx rules over the project model.
 
@@ -203,13 +215,28 @@ def lint_project(
     incremental cache behaved: ``files`` scanned, cache ``hits``, cache
     ``misses`` (== files parsed this run).  With ``cache_dir`` set, a
     warm run over an unchanged tree re-parses zero files.
+
+    ``profile`` names a cProfile/pstats dump; when given, SIM3xx
+    findings are ranked by measured cumulative time (hot/warm/cold
+    buckets on :attr:`Violation.profile`) and ``stats`` gains a
+    ``"profile"`` block.  Raises :class:`FileNotFoundError` /
+    :class:`ValueError` for a missing / unreadable dump.
     """
     from repro.lint.cache import SummaryCache, hash_source, rules_digest
     from repro.lint.callgraph import CallGraph
+    from repro.lint.hotpath import ProfileIndex, annotate_profile
     from repro.lint.project_rules import PROJECT_RULES
     from repro.lint.projectmodel import ModuleSummary, ProjectModel, extract_summary
 
     selected = _validate_select(select)
+    # Load before the scan so a bad --profile argument fails fast.
+    index: Optional[ProfileIndex] = None
+    profile_digest = ""
+    if profile is not None:
+        index = ProfileIndex.load(profile)
+        profile_digest = hashlib.sha256(
+            Path(profile).read_bytes()
+        ).hexdigest()[:16]
     cache = SummaryCache(cache_dir)
     model = ProjectModel()
     live_keys = set()
@@ -217,7 +244,12 @@ def lint_project(
     # Cached entries embed the producing rule set's findings; folding
     # the registry digest into every key makes "new rule registered"
     # indistinguishable from "file edited" -- a miss, then a re-lint.
+    # The profile content digest rides along for the same reason: the
+    # hot/warm/cold ranking a future cached-findings layer might embed
+    # depends on the dump's bytes, so a different dump must miss.
     ruleset = rules_digest()
+    if profile_digest:
+        ruleset = ruleset + "\x00" + profile_digest
     for file_path in iter_python_files(paths):
         files += 1
         source = file_path.read_text(encoding="utf-8")
@@ -266,5 +298,12 @@ def lint_project(
                     continue
             violations.append(violation)
 
-    stats = {"files": files, "hits": cache.hits, "misses": cache.misses}
-    return sorted(violations), stats
+    stats: Dict[str, Any] = {
+        "files": files,
+        "hits": cache.hits,
+        "misses": cache.misses,
+    }
+    ordered = sorted(violations)
+    if index is not None:
+        ordered, stats["profile"] = annotate_profile(ordered, model, index)
+    return ordered, stats

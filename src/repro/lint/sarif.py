@@ -59,11 +59,22 @@ def _rule_metadata(
 def _result(
     violation: Violation, rule_index: Dict[str, int], suppressed: bool
 ) -> Dict[str, Any]:
+    # Profile-guided runs grade severity by measured cost: cold findings
+    # (never seen in the profiled workload) become notes, hot ones keep
+    # level "error" but lead with the hot: marker dashboards sort by.
+    level = "error"
+    message = violation.message
+    if violation.profile is not None:
+        bucket = violation.profile.get("bucket")
+        if bucket == "cold":
+            level = "note"
+        elif bucket == "hot":
+            message = f"hot: {message}"
     result: Dict[str, Any] = {
         "ruleId": violation.rule_id,
         "ruleIndex": rule_index[violation.rule_id],
-        "level": "error",
-        "message": {"text": violation.message},
+        "level": level,
+        "message": {"text": message},
         "locations": [
             {
                 "physicalLocation": {
@@ -78,6 +89,8 @@ def _result(
         ],
         "partialFingerprints": {FINGERPRINT_KEY: fingerprint(violation)},
     }
+    if violation.profile is not None:
+        result["properties"] = {"profile": violation.profile}
     if violation.provenance:
         result["relatedLocations"] = [
             {

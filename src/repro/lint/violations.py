@@ -22,6 +22,12 @@ class Violation:
     :mod:`repro.lint.fixes` consumes); it never participates in
     ordering/equality and is omitted from the JSON form when absent, so
     fix-less producers and consumers are byte-compatible with v2.
+
+    ``profile`` is the profile-guided ranking attached by
+    :func:`repro.lint.hotpath.annotate_profile` when ``--profile`` is
+    given: ``{"bucket": "hot"|"warm"|"cold", "cum_seconds", "fraction"}``.
+    Like ``fix`` it is presentation metadata -- excluded from
+    ordering/equality and absent from JSON unless set.
     """
 
     path: str
@@ -32,13 +38,22 @@ class Violation:
     message: str
     provenance: Tuple[str, ...] = field(default=())
     fix: Optional[Dict[str, Any]] = field(default=None, compare=False)
+    profile: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     def format(self) -> str:
         """``path:line:col: SIM001 [global-random] message`` -- the text
-        output format, clickable in editors and CI logs."""
+        output format, clickable in editors and CI logs.  Profile-ranked
+        findings carry their bucket (and measured seconds when hot)."""
+        marker = ""
+        if self.profile is not None:
+            bucket = self.profile.get("bucket", "")
+            if bucket == "hot":
+                marker = f"hot ({self.profile.get('cum_seconds', 0.0)}s): "
+            elif bucket == "cold":
+                marker = "note: "
         text = (
             f"{self.path}:{self.line}:{self.col}: "
-            f"{self.rule_id} [{self.rule_name}] {self.message}"
+            f"{self.rule_id} [{self.rule_name}] {marker}{self.message}"
         )
         if self.provenance:
             text += f"  (via {', '.join(self.provenance)})"
@@ -57,6 +72,8 @@ class Violation:
         }
         if self.fix is not None:
             payload["fix"] = self.fix  # type: ignore[assignment]
+        if self.profile is not None:
+            payload["profile"] = self.profile  # type: ignore[assignment]
         return payload
 
     @classmethod
@@ -71,4 +88,5 @@ class Violation:
             message=str(payload["message"]),
             provenance=tuple(payload.get("provenance", ())),
             fix=payload.get("fix"),
+            profile=payload.get("profile"),
         )

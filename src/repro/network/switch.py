@@ -134,16 +134,18 @@ class Switch:
         # attribute load + branch per site.
         self.metrics = metrics
         self._obs_on = metrics.enabled
+        # Construction-time only: instrument names are formatted once per
+        # switch; the forwarding path uses the cached instrument objects.
         self._m_enqueue = [
-            metrics.counter(f"network.switch.vc{vc}.enqueue_packets_total", unit="packets")
+            metrics.counter(f"network.switch.vc{vc}.enqueue_packets_total", unit="packets")  # simlint: allow-hot-eager-str
             for vc in range(n_vcs)
         ]
         self._m_dequeue = [
-            metrics.counter(f"network.switch.vc{vc}.dequeue_packets_total", unit="packets")
+            metrics.counter(f"network.switch.vc{vc}.dequeue_packets_total", unit="packets")  # simlint: allow-hot-eager-str
             for vc in range(n_vcs)
         ]
         self._m_order_errors = [
-            metrics.counter(f"network.switch.vc{vc}.order_errors_total", unit="packets")
+            metrics.counter(f"network.switch.vc{vc}.order_errors_total", unit="packets")  # simlint: allow-hot-eager-str
             for vc in range(n_vcs)
         ]
         self._m_depth = metrics.histogram(
@@ -220,7 +222,11 @@ class Switch:
             queues = self._candidates[out_port][vc]
             picker = self._pickers[out_port][vc]
             if masking:
-                index = picker.pick(queues, lambda head: channel.can_send(vc, head.size))
+                # The closure must capture this iteration's (channel, vc):
+                # hoisting it would freeze the VC and caching predicates
+                # per port would couple the arbiter to link rewiring.
+                # Masking architectures only; the common path never pays.
+                index = picker.pick(queues, lambda head: channel.can_send(vc, head.size))  # simlint: allow-hot-loop-allocation
             else:
                 index = picker.pick(queues)
                 if index is not None:

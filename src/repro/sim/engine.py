@@ -18,9 +18,19 @@ A classic calendar-heap event loop.  Design notes, informed by profiling
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 __all__ = ["Engine", "EventHandle", "SimulationError"]
+
+# Scheduling happens once per event; a module-global alias skips the
+# module-then-builtins dict probes of `heapq.heappush` on every call.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Sentinel bound: `entry_time > _NO_BOUND` and `executed >= _NO_BOUND`
+#: are always false, so the run loop compares against a constant instead
+#: of testing `is not None` twice per event.
+_NO_BOUND = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -137,7 +147,7 @@ class Engine:
         """Timestamp of the next live event, or ``None`` if the heap is empty."""
         heap = self._heap
         while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
+            _heappop(heap)
             self._tombstones_discarded += 1
         return heap[0][0] if heap else None
 
@@ -152,14 +162,25 @@ class Engine:
             )
         self._seq += 1
         ev = EventHandle(time, self._seq, fn, args)
-        heapq.heappush(self._heap, (time, self._seq, ev))
+        _heappush(self._heap, (time, self._seq, ev))
         return ev
 
     def after(self, delay: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
-        """Schedule ``fn(*args)`` after ``delay`` nanoseconds from now."""
+        """Schedule ``fn(*args)`` after ``delay`` nanoseconds from now.
+
+        Open-coded rather than delegating to :meth:`at`: most hot-path
+        callers reschedule relative to now, and `delay >= 0` already
+        guarantees the not-in-the-past invariant, so the extra call
+        frame and re-check would be pure overhead (profiling puts this
+        method second only to the run loop itself).
+        """
         if delay < 0:
             raise SimulationError(f"delay must be >= 0, got {delay}")
-        return self.at(self._now + delay, fn, *args)
+        time = self._now + delay
+        self._seq += 1
+        ev = EventHandle(time, self._seq, fn, args)
+        _heappush(self._heap, (time, self._seq, ev))
+        return ev
 
     # ------------------------------------------------------------------
     # execution
@@ -186,8 +207,12 @@ class Engine:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
 
         heap = self._heap
-        pop = heapq.heappop
+        pop = _heappop
         base = self._events_executed
+        # Sentinel bounds: comparing against +inf is always false, which
+        # removes two `is not None` tests from every loop iteration.
+        until_bound: Union[int, float] = _NO_BOUND if until is None else until
+        limit: Union[int, float] = _NO_BOUND if max_events is None else max_events
         # With _count_live set, the public counter is refreshed after
         # every callback so observers sampling *inside* the loop (the
         # telemetry heartbeat's events/sec probe) see a moving count;
@@ -205,9 +230,9 @@ class Engine:
                     pop(heap)
                     self._tombstones_discarded += 1
                     continue
-                if until is not None and entry[0] > until:
+                if entry[0] > until_bound:
                     break
-                if max_events is not None and executed >= max_events:
+                if executed >= limit:
                     break
                 pop(heap)
                 self._now = entry[0]

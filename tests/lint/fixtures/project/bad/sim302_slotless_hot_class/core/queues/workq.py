@@ -1,0 +1,8 @@
+"""Hot-path module: instantiates a slot-less class per admission."""
+
+from model import Tracker
+
+
+def admit(start):
+    tracker = Tracker(start)
+    return tracker

@@ -1,0 +1,7 @@
+"""Cold module defining a class the hot path instantiates."""
+
+
+class Tracker:
+    def __init__(self, start):
+        self.count = start
+        self.limit = start * 2

@@ -1,0 +1,15 @@
+"""Hot-path module: reads the same attribute chain twice per iteration."""
+
+
+class RingBuffer:
+    __slots__ = ("buffer",)
+
+    def __init__(self, buffer):
+        self.buffer = buffer
+
+    def occupancy(self, packets):
+        total = 0
+        for _pkt in packets:
+            if self.buffer is not None:
+                total += len(self.buffer)
+        return total

@@ -1,0 +1,10 @@
+"""Hot-path module: resolves heapq.heappush twice per iteration."""
+
+import heapq
+
+
+def merge(items, extra):
+    for value in extra:
+        heapq.heappush(items, value)
+        heapq.heappush(items, value + 1)
+    return items

@@ -1,0 +1,11 @@
+"""Hot-path module: formats a label string on every call."""
+
+
+class Stamper:
+    __slots__ = ("prefix",)
+
+    def __init__(self, prefix):
+        self.prefix = prefix
+
+    def label(self, uid):
+        return f"{self.prefix}:{uid}"

@@ -1,0 +1,9 @@
+"""Hot-path module: the only allocation happens once, outside the loop."""
+
+
+def drain(batch):
+    out = list(batch)
+    total = 0
+    for item in out:
+        total += item
+    return out, total

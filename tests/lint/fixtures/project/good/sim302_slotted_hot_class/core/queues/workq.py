@@ -1,0 +1,8 @@
+"""Hot-path module: instantiates a properly slotted class."""
+
+from model import Tracker
+
+
+def admit(start):
+    tracker = Tracker(start)
+    return tracker

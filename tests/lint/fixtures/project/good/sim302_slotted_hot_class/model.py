@@ -1,0 +1,9 @@
+"""Cold module defining a slotted class the hot path instantiates."""
+
+
+class Tracker:
+    __slots__ = ("count", "limit")
+
+    def __init__(self, start):
+        self.count = start
+        self.limit = start * 2

@@ -1,0 +1,16 @@
+"""Hot-path module: the attribute chain is hoisted to a local."""
+
+
+class RingBuffer:
+    __slots__ = ("buffer",)
+
+    def __init__(self, buffer):
+        self.buffer = buffer
+
+    def occupancy(self, packets):
+        total = 0
+        buffer = self.buffer
+        for _pkt in packets:
+            if buffer is not None:
+                total += len(buffer)
+        return total

@@ -1,0 +1,11 @@
+"""Hot-path module: the global is bound to a local alias once."""
+
+import heapq
+
+
+def merge(items, extra):
+    heappush = heapq.heappush
+    for value in extra:
+        heappush(items, value)
+        heappush(items, value + 1)
+    return items

@@ -1,0 +1,8 @@
+"""Hot-path module: probes the dict once instead of unwinding."""
+
+
+def lookup_all(table, keys):
+    out = []
+    for key in keys:
+        out.append(table.get(key))
+    return out

@@ -1,0 +1,13 @@
+"""Hot-path module: formats only on the error path."""
+
+
+class Stamper:
+    __slots__ = ("prefix",)
+
+    def __init__(self, prefix):
+        self.prefix = prefix
+
+    def label(self, uid):
+        if uid < 0:
+            raise ValueError(f"negative uid {uid}")
+        return (self.prefix, uid)

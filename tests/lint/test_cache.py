@@ -1,0 +1,84 @@
+"""Regression tests for the lint cache key.
+
+The per-file key folds in the rule-set digest *and*, for profile-guided
+runs, the profile dump's content hash: a cached entry produced without
+(or under a different) profile must miss, because the ranking baked
+into downstream consumers depends on the dump's bytes.
+"""
+
+from __future__ import annotations
+
+import cProfile
+from pathlib import Path
+
+from repro.lint import lint_project
+from repro.lint.cache import rules_digest
+
+HERE = Path(__file__).parent
+TARGET = HERE / "fixtures" / "project" / "bad" / "sim301_loop_allocation"
+
+
+def _make_dump(path: Path, label: str) -> Path:
+    """A tiny but valid pstats dump; ``label`` names the profiled
+    function so two dumps differ structurally, not just by timing."""
+    namespace: dict = {}
+    exec(f"def work_{label}(n):\n    return sum(range(n))\n", namespace)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    namespace[f"work_{label}"](10_000)
+    profiler.disable()
+    profiler.dump_stats(str(path))
+    return path
+
+
+def test_rules_digest_covers_the_sim3xx_family():
+    from repro.lint.project_rules import PROJECT_RULES
+
+    assert {"SIM301", "SIM302", "SIM303", "SIM304", "SIM305", "SIM306"} <= set(
+        PROJECT_RULES
+    )
+    assert len(rules_digest()) == 16
+
+
+def test_profile_content_hash_is_part_of_the_cache_key(tmp_path):
+    cache_dir = tmp_path / "cache"
+    dump_a = _make_dump(tmp_path / "a.pstats", "a")
+    dump_b = _make_dump(tmp_path / "b.pstats", "b")
+    assert dump_a.read_bytes() != dump_b.read_bytes()
+
+    _, cold = lint_project([TARGET], cache_dir=cache_dir)
+    assert cold["misses"] == cold["files"] > 0
+
+    # Unprofiled warm run: every file replays from cache.
+    _, warm = lint_project([TARGET], cache_dir=cache_dir)
+    assert (warm["hits"], warm["misses"]) == (warm["files"], 0)
+
+    # A profile changes the key: the unprofiled entries must not replay.
+    _, first_profiled = lint_project(
+        [TARGET], cache_dir=cache_dir, profile=dump_a
+    )
+    assert first_profiled["misses"] == first_profiled["files"]
+
+    # Same dump bytes -> same key -> warm.
+    _, second_profiled = lint_project(
+        [TARGET], cache_dir=cache_dir, profile=dump_a
+    )
+    assert (second_profiled["hits"], second_profiled["misses"]) == (
+        second_profiled["files"],
+        0,
+    )
+
+    # A different dump -> different key -> cold again.
+    _, other_profiled = lint_project(
+        [TARGET], cache_dir=cache_dir, profile=dump_b
+    )
+    assert other_profiled["misses"] == other_profiled["files"]
+
+
+def test_profiled_and_unprofiled_runs_agree_on_findings(tmp_path):
+    dump = _make_dump(tmp_path / "a.pstats", "a")
+    plain, _ = lint_project([TARGET])
+    profiled, _ = lint_project([TARGET], profile=dump)
+    # Equality ignores the presentation-only profile attachment.
+    assert plain == profiled
+    assert all(v.profile is not None for v in profiled if v.rule_id.startswith("SIM3"))

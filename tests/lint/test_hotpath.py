@@ -1,0 +1,376 @@
+"""Tests for the hot-path performance layer (SIM301-SIM306).
+
+Covers the fixture matrix (each bad fixture flags exactly its rule,
+each good fixture is clean), the SIM302/303/304 machine fixes and their
+idempotence, pragma suppression, the profile-guided ranking end to end
+(cProfile dump -> hot/warm/cold buckets -> JSON and SARIF), and the
+``--explain`` surface for every rule in the family.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    ProfileIndex,
+    Violation,
+    apply_fixes,
+    lint_project,
+    to_sarif,
+)
+
+HERE = Path(__file__).parent
+PROJECT_FIXTURES = HERE / "fixtures" / "project"
+
+FIXTURE_MATRIX = [
+    ("SIM301", "sim301_loop_allocation", "sim301_hoisted_allocation"),
+    ("SIM302", "sim302_slotless_hot_class", "sim302_slotted_hot_class"),
+    ("SIM303", "sim303_attr_reload", "sim303_attr_hoisted"),
+    ("SIM304", "sim304_global_lookup", "sim304_global_aliased"),
+    ("SIM305", "sim305_exception_flow", "sim305_dict_get"),
+    ("SIM306", "sim306_eager_str", "sim306_lazy_str"),
+]
+
+FIXABLE = [
+    "sim302_slotless_hot_class",
+    "sim303_attr_reload",
+    "sim304_global_lookup",
+]
+
+
+class TestFixtureMatrix:
+    @pytest.mark.parametrize(
+        "rule_id,bad_dir,good_dir",
+        FIXTURE_MATRIX,
+        ids=[row[0] for row in FIXTURE_MATRIX],
+    )
+    def test_bad_fixture_flags_exactly_its_rule(self, rule_id, bad_dir, good_dir):
+        violations, _ = lint_project([PROJECT_FIXTURES / "bad" / bad_dir])
+        assert violations, f"{bad_dir} produced no findings"
+        assert {v.rule_id for v in violations} == {rule_id}
+
+    @pytest.mark.parametrize(
+        "rule_id,bad_dir,good_dir",
+        FIXTURE_MATRIX,
+        ids=[row[0] for row in FIXTURE_MATRIX],
+    )
+    def test_good_fixture_is_clean(self, rule_id, bad_dir, good_dir):
+        violations, _ = lint_project([PROJECT_FIXTURES / "good" / good_dir])
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+    def test_sim302_finding_names_the_instantiation_site(self):
+        violations, _ = lint_project(
+            [PROJECT_FIXTURES / "bad" / "sim302_slotless_hot_class"]
+        )
+        (violation,) = violations
+        assert violation.path.endswith("model.py")
+        assert "`admit`" in violation.message
+        assert len(violation.provenance) == 2
+
+
+class TestMachineFixes:
+    @pytest.mark.parametrize("bad_dir", FIXABLE)
+    def test_fix_resolves_the_finding(self, tmp_path, bad_dir):
+        target = tmp_path / bad_dir
+        shutil.copytree(PROJECT_FIXTURES / "bad" / bad_dir, target)
+        violations, _ = lint_project([target])
+        report = apply_fixes(violations, dry_run=False)
+        assert report.files_changed
+        after, _ = lint_project([target])
+        assert after == [], "\n".join(v.format() for v in after)
+
+    @pytest.mark.parametrize("bad_dir", FIXABLE)
+    def test_fix_is_idempotent(self, tmp_path, bad_dir):
+        target = tmp_path / bad_dir
+        shutil.copytree(PROJECT_FIXTURES / "bad" / bad_dir, target)
+        violations, _ = lint_project([target])
+        apply_fixes(violations, dry_run=False)
+        snapshot = {
+            p: p.read_text(encoding="utf-8") for p in target.rglob("*.py")
+        }
+        after, _ = lint_project([target])
+        report = apply_fixes(after, dry_run=False)
+        assert not report.files_changed
+        assert snapshot == {
+            p: p.read_text(encoding="utf-8") for p in target.rglob("*.py")
+        }
+
+    def test_dry_run_leaves_files_alone(self, tmp_path):
+        target = tmp_path / "sim304"
+        shutil.copytree(
+            PROJECT_FIXTURES / "bad" / "sim304_global_lookup", target
+        )
+        before = {
+            p: p.read_text(encoding="utf-8") for p in target.rglob("*.py")
+        }
+        violations, _ = lint_project([target])
+        report = apply_fixes(violations, dry_run=True)
+        assert report.files_changed  # a diff was produced ...
+        assert before == {  # ... but nothing was written
+            p: p.read_text(encoding="utf-8") for p in target.rglob("*.py")
+        }
+
+    def test_sim302_fix_inserts_a_valid_slots_tuple(self, tmp_path):
+        target = tmp_path / "sim302"
+        shutil.copytree(
+            PROJECT_FIXTURES / "bad" / "sim302_slotless_hot_class", target
+        )
+        violations, _ = lint_project([target])
+        apply_fixes(violations, dry_run=False)
+        text = (target / "model.py").read_text(encoding="utf-8")
+        assert '__slots__ = ("count", "limit")' in text
+        namespace: dict = {}
+        exec(compile(text, "model.py", "exec"), namespace)
+        tracker = namespace["Tracker"](3)
+        assert not hasattr(tracker, "__dict__")
+        assert (tracker.count, tracker.limit) == (3, 6)
+
+
+class TestPragmas:
+    @pytest.mark.parametrize(
+        "spelling", ["allow-hot-loop-allocation", "allow-sim301"]
+    )
+    def test_pragma_on_offending_line_suppresses(self, tmp_path, spelling):
+        target = tmp_path / "sim301"
+        shutil.copytree(
+            PROJECT_FIXTURES / "bad" / "sim301_loop_allocation", target
+        )
+        hot = target / "core" / "queues" / "drainq.py"
+        lines = hot.read_text(encoding="utf-8").splitlines()
+        lines[6] += f"  # simlint: {spelling}"
+        hot.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        violations, _ = lint_project([target])
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+    def test_pragma_on_other_line_does_not_suppress(self, tmp_path):
+        target = tmp_path / "sim301"
+        shutil.copytree(
+            PROJECT_FIXTURES / "bad" / "sim301_loop_allocation", target
+        )
+        hot = target / "core" / "queues" / "drainq.py"
+        lines = hot.read_text(encoding="utf-8").splitlines()
+        lines[0] += "  # simlint: allow-hot-loop-allocation"
+        hot.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        violations, _ = lint_project([target])
+        assert [v.rule_id for v in violations] == ["SIM301"]
+
+
+def _profiled_project(tmp_path: Path) -> "tuple[Path, Path]":
+    """One project holding the SIM303 (made hot), SIM306 (made warm) and
+    SIM301 (never executed -> cold) bad fixtures, plus a pstats dump of
+    actually running the first two."""
+    project = tmp_path / "proj"
+    for bad_dir in (
+        "sim303_attr_reload",
+        "sim306_eager_str",
+        "sim301_loop_allocation",
+    ):
+        source = PROJECT_FIXTURES / "bad" / bad_dir / "core" / "queues"
+        for py in source.glob("*.py"):
+            dest = project / "core" / "queues" / py.name
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            dest.write_text(py.read_text(encoding="utf-8"), encoding="utf-8")
+
+    def load(name: str) -> dict:
+        path = project / "core" / "queues" / name
+        namespace: dict = {}
+        exec(
+            compile(
+                path.read_text(encoding="utf-8"),
+                str(path).replace("\\", "/"),
+                "exec",
+            ),
+            namespace,
+        )
+        return namespace
+
+    ring = load("ring.py")["RingBuffer"](list(range(256)))
+    stamper = load("stamp.py")["Stamper"]("pkt")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(300):
+        ring.occupancy(range(200))  # dominates -> hot
+    stamper.label(1)  # measured but cheap -> warm
+    profiler.disable()
+    dump = tmp_path / "prof.pstats"
+    profiler.dump_stats(str(dump))
+    return project, dump
+
+
+class TestProfileRanking:
+    def test_buckets_follow_measured_time(self, tmp_path):
+        project, dump = _profiled_project(tmp_path)
+        violations, stats = lint_project([project], profile=dump)
+        by_rule = {v.rule_id: v for v in violations}
+        assert set(by_rule) == {"SIM301", "SIM303", "SIM306"}
+        assert by_rule["SIM303"].profile["bucket"] == "hot"
+        assert by_rule["SIM303"].profile["cum_seconds"] > 0.0
+        assert by_rule["SIM306"].profile["bucket"] == "warm"
+        assert by_rule["SIM301"].profile["bucket"] == "cold"
+        profile_stats = stats["profile"]
+        assert profile_stats["ranked"] == 3
+        assert profile_stats["matched"] == 2
+        assert (
+            profile_stats["hot"],
+            profile_stats["warm"],
+            profile_stats["cold"],
+        ) == (1, 1, 1)
+
+    def test_text_format_carries_the_bucket_markers(self, tmp_path):
+        project, dump = _profiled_project(tmp_path)
+        violations, _ = lint_project([project], profile=dump)
+        formatted = {v.rule_id: v.format() for v in violations}
+        assert "hot (" in formatted["SIM303"]
+        assert "note: " in formatted["SIM301"]
+
+    def test_ranking_round_trips_through_json(self, tmp_path):
+        project, dump = _profiled_project(tmp_path)
+        violations, _ = lint_project([project], profile=dump)
+        for violation in violations:
+            replayed = Violation.from_dict(
+                json.loads(json.dumps(violation.to_dict()))
+            )
+            assert replayed == violation
+            assert replayed.profile == violation.profile
+
+    def test_ranking_round_trips_through_sarif(self, tmp_path):
+        project, dump = _profiled_project(tmp_path)
+        violations, _ = lint_project([project], profile=dump)
+        document = to_sarif(violations)
+        results = {
+            r["ruleId"]: r for r in document["runs"][0]["results"]
+        }
+        assert results["SIM303"]["message"]["text"].startswith("hot: ")
+        assert results["SIM303"]["level"] == "error"
+        assert results["SIM301"]["level"] == "note"
+        for rule_id in ("SIM301", "SIM303", "SIM306"):
+            assert "profile" in results[rule_id]["properties"]
+
+    def test_cold_findings_do_not_gate_the_cli(self, tmp_path):
+        _, dump = _profiled_project(tmp_path)
+        cold_only = tmp_path / "cold"
+        shutil.copytree(
+            PROJECT_FIXTURES / "bad" / "sim301_loop_allocation", cold_only
+        )
+        assert (
+            main(
+                [
+                    "lint",
+                    "--project",
+                    "--profile",
+                    str(dump),
+                    str(cold_only),
+                ]
+            )
+            == 0
+        )
+
+    def test_hot_findings_still_gate_the_cli(self, tmp_path):
+        project, dump = _profiled_project(tmp_path)
+        assert (
+            main(
+                ["lint", "--project", "--profile", str(dump), str(project)]
+            )
+            == 1
+        )
+
+    def test_unprofiled_run_attaches_nothing(self):
+        violations, stats = lint_project(
+            [PROJECT_FIXTURES / "bad" / "sim301_loop_allocation"]
+        )
+        assert all(v.profile is None for v in violations)
+        assert "profile" not in stats
+
+
+class TestProfileIndex:
+    def test_matches_by_def_line_or_bare_name(self):
+        index = ProfileIndex(
+            [("/abs/core/queues/ring.py", 10, "occupancy", 1.5)], 2.0
+        )
+        assert index.cumtime_for("/abs/core/queues/ring.py", 10, "x") == 1.5
+        assert (
+            index.cumtime_for("/abs/core/queues/ring.py", 99, "occupancy")
+            == 1.5
+        )
+        assert (
+            index.cumtime_for("/abs/core/queues/ring.py", 99, "other") is None
+        )
+        assert index.cumtime_for("core/queues/ring.py", 10, "x") == 1.5
+
+    def test_missing_dump_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ProfileIndex.load(tmp_path / "nope.pstats")
+
+    def test_garbage_dump_raises_value_error(self, tmp_path):
+        garbage = tmp_path / "garbage.pstats"
+        garbage.write_bytes(b"this is not marshal data")
+        with pytest.raises(ValueError):
+            ProfileIndex.load(garbage)
+
+
+class TestCli:
+    def test_profile_without_project_exits_two(self, capsys, tmp_path):
+        dump = tmp_path / "prof.pstats"
+        dump.write_bytes(b"")
+        assert main(["lint", "--profile", str(dump), str(tmp_path)]) == 2
+        assert "--profile requires --project" in capsys.readouterr().err
+
+    def test_unreadable_profile_exits_two(self, capsys, tmp_path):
+        garbage = tmp_path / "garbage.pstats"
+        garbage.write_bytes(b"not marshal")
+        assert (
+            main(
+                [
+                    "lint",
+                    "--project",
+                    "--profile",
+                    str(garbage),
+                    str(PROJECT_FIXTURES / "good" / "sim301_hoisted_allocation"),
+                ]
+            )
+            == 2
+        )
+        assert "not a readable pstats dump" in capsys.readouterr().err
+
+    def test_profile_run_produces_a_rankable_dump(self, tmp_path, capsys):
+        dump = tmp_path / "prof.pstats"
+        code = main(
+            [
+                "profile",
+                "run",
+                "--arch",
+                "simple-2vc",
+                "--load",
+                "0.2",
+                "--warmup-us",
+                "20",
+                "--measure-us",
+                "100",
+                "-o",
+                str(dump),
+            ]
+        )
+        assert code == 0
+        assert dump.is_file()
+        index = ProfileIndex.load(dump)
+        assert index.total_seconds > 0.0
+        # The engine's run loop must be attributable for ranking to work.
+        assert (
+            index.cumtime_for("src/repro/sim/engine.py", 1, "run") is not None
+        )
+
+    @pytest.mark.parametrize(
+        "rule_id", [row[0] for row in FIXTURE_MATRIX], ids=str
+    )
+    def test_explain_covers_every_rule(self, capsys, rule_id):
+        assert main(["lint", "--explain", rule_id]) == 0
+        out = capsys.readouterr().out
+        assert rule_id in out
+        assert "Rationale:" in out
+        assert "example" in out
