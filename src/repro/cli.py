@@ -217,7 +217,14 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument(
         "--select",
         default=None,
-        help="comma-separated rule ids to run (default: all), e.g. SIM001,SIM104",
+        help="comma-separated rule ids or prefixes to run (default: all), "
+        "e.g. SIM001,SIM104 or SIM4 for the whole temporal family",
+    )
+    lint_p.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule ids or prefixes to skip, subtracted "
+        "from the --select set (or from all rules), e.g. SIM103,SIM3",
     )
     lint_p.add_argument(
         "--list-rules", action="store_true", help="list the registered rules and exit"
@@ -646,6 +653,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 print(f"{rule.id}  allow-{rule.name:<28} {rule.description}")
         return 0
     select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
     if args.profile and not args.project:
         print(
             "repro-qos lint: --profile requires --project "
@@ -660,9 +668,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 args.paths,
                 cache_dir=args.cache_dir,
                 select=select,
+                ignore=ignore,
                 profile=args.profile,
             )
-        return lint_paths(args.paths, select=select), None
+        return lint_paths(args.paths, select=select, ignore=ignore), None
 
     cache_stats = None
     try:

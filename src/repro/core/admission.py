@@ -18,12 +18,20 @@ module is that centralized point:
 Paths are any objects exposing ``ports`` (source-route port indices) and
 ``links`` (hashable directed-link ids for accounting); the routing layer
 provides them.
+
+The per-link ledgers are kept in **integer bytes/second**
+(:func:`repro.sim.units.bps`): requests arrive as float bytes/ns, are
+converted once at the ledger boundary, and the same converted integer is
+subtracted on release -- so a fully released link reads exactly zero,
+with no float drift and no epsilon guard.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Optional, Protocol, Sequence, Tuple
+
+from repro.sim.units import bps
 
 __all__ = ["AdmissionController", "AdmissionError", "Reservation"]
 
@@ -71,10 +79,11 @@ class AdmissionController:
         self._default_capacity = link_capacity
         self._capacity_of = capacity_of
         self.max_utilization = max_utilization
-        #: reserved bandwidth per directed link id
-        self.reserved: Dict[Hashable, float] = {}
-        #: best-effort balancing weight (bytes/ns of assigned deadline-bw)
-        self.assigned_weight: Dict[Hashable, float] = {}
+        #: reserved bandwidth per directed link id, integer bytes/second
+        self.reserved: Dict[Hashable, int] = {}
+        #: best-effort balancing weight (integer bytes/second of assigned
+        #: deadline-bw)
+        self.assigned_weight: Dict[Hashable, int] = {}
         self._reservations: Dict[int, Reservation] = {}
 
     # ------------------------------------------------------------------
@@ -84,10 +93,10 @@ class AdmissionController:
         return self._default_capacity
 
     def utilization(self, link: Hashable) -> float:
-        return self.reserved.get(link, 0.0) / self.capacity(link)
+        return self.reserved.get(link, 0) / bps(self.capacity(link))
 
     def _path_profile(
-        self, path: PathLike, extra_bw: float, table: Dict[Hashable, float]
+        self, path: PathLike, extra_bw: float, table: Dict[Hashable, int]
     ) -> Tuple[float, ...]:
         """Post-assignment utilizations over the path's links, sorted
         descending.
@@ -100,17 +109,18 @@ class AdmissionController:
         rest idle.  Lexicographic water-filling keeps spreading load by
         the busiest *distinct* link.
         """
+        extra_bps = bps(extra_bw)
         return tuple(
             sorted(
                 (
-                    (table.get(link, 0.0) + extra_bw) / self.capacity(link)
+                    (table.get(link, 0) + extra_bps) / bps(self.capacity(link))
                     for link in path.links
                 ),
                 reverse=True,
             )
         )
 
-    def _path_cost(self, path: PathLike, extra_bw: float, table: Dict[Hashable, float]) -> float:
+    def _path_cost(self, path: PathLike, extra_bw: float, table: Dict[Hashable, int]) -> float:
         """Max post-assignment utilization over the path's links."""
         profile = self._path_profile(path, extra_bw, table)
         return profile[0] if profile else 0.0
@@ -138,8 +148,9 @@ class AdmissionController:
                 f"all {len(paths)} candidate paths above "
                 f"{self.max_utilization:.0%} utilization"
             )
+        bw_bps = bps(bw_bytes_per_ns)
         for link in best_path.links:
-            self.reserved[link] = self.reserved.get(link, 0.0) + bw_bytes_per_ns
+            self.reserved[link] = self.reserved.get(link, 0) + bw_bps
         reservation = Reservation(flow_id, best_path, bw_bytes_per_ns)
         self._reservations[flow_id] = reservation
         return reservation
@@ -149,10 +160,11 @@ class AdmissionController:
         reservation = self._reservations.pop(flow_id, None)
         if reservation is None:
             raise AdmissionError(f"flow {flow_id} holds no reservation")
+        # bps() is deterministic, so subtracting the same conversion that
+        # was added on admit returns the ledger to exactly zero.
+        bw_bps = bps(reservation.bw_bytes_per_ns)
         for link in reservation.path.links:
-            remaining = self.reserved.get(link, 0.0) - reservation.bw_bytes_per_ns
-            # Guard against float drift pushing a fully released link negative.
-            self.reserved[link] = remaining if remaining > 1e-12 else 0.0
+            self.reserved[link] = self.reserved.get(link, 0) - bw_bps
 
     def assign_path(self, src: int, dst: int, weight: float = 1.0) -> PathLike:
         """Fixed-path assignment for unregulated traffic (no reservation)."""
@@ -162,8 +174,9 @@ class AdmissionController:
         best_path = min(
             paths, key=lambda p: self._path_profile(p, weight, self.assigned_weight)
         )
+        weight_bps = bps(weight)
         for link in best_path.links:
-            self.assigned_weight[link] = self.assigned_weight.get(link, 0.0) + weight
+            self.assigned_weight[link] = self.assigned_weight.get(link, 0) + weight_bps
         return best_path
 
     # ------------------------------------------------------------------

@@ -53,12 +53,28 @@ SIM305    hot-exception-flow           exception-based control flow in
                                        hot loops
 SIM306    hot-eager-str                eager string building on the hot
                                        path
+SIM401    schedule-in-past             scheduling at a time provably
+                                       unanchored to ``engine.now``
+SIM402    float-time-flow              float-derived quantities flowing
+                                       into timestamp state or sinks
+SIM403    epsilon-free-float-compare   exact comparisons on float time
+                                       or bandwidth ledgers
+SIM404    unstable-edf-tiebreak        deadline orderings without a
+                                       deterministic tie-break (hot scope)
+SIM405    late-binding-callback        loop variables captured late in
+                                       scheduled callbacks
+SIM406    truncating-time-div          true division on exact ns values
+                                       (use ``//`` or ``round``)
 ========  ===========================  ====================================
 
 The SIM2xx rules rest on the worker-reachability closure of
 :mod:`repro.lint.parallel`; the SIM3xx performance family on the
-engine-reachability closure of :mod:`repro.lint.hotpath`.  The
-profile-guided mode ranks SIM3xx findings by measured cost::
+engine-reachability closure of :mod:`repro.lint.hotpath`; the SIM4xx
+temporal-soundness family on the abstract time-type lattice of
+:mod:`repro.lint.temporal` (exact-int / float-derived / unknown), which
+types every expression during the dataflow walk and proves (or fails to
+prove) that scheduled times are anchored to ``engine.now``.  The
+profile-guided mode ranks SIM3xx/SIM4xx findings by measured cost::
 
     repro-qos profile run --arch advanced-2vc -o prof.pstats
     repro-qos lint --project --profile prof.pstats src
@@ -77,6 +93,10 @@ A violation is suppressed by putting ``# simlint: allow-<pragma-name>``
 (or ``allow-<lowercase-id>``, e.g. ``allow-sim101``) on the offending
 line; pragmas naming unknown rules are themselves reported (SIM000) so a
 typo cannot silently disable a check.
+
+``--select`` / ``--ignore`` narrow a run to rule IDs or family prefixes
+(``--select SIM4``, ``--ignore SIM103,SIM3``); the filter applies to
+text, JSON and SARIF output and to the exit gate alike.
 
 Run it as ``repro-qos lint [--project] [paths...]`` or programmatically::
 

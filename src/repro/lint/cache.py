@@ -35,7 +35,10 @@ __all__ = ["SummaryCache", "hash_source", "rules_digest"]
 #: 3: SIM3xx hot-path fields (loop allocations, repeated attribute /
 #: global lookups, loop try/excepts, string builds) + per-class layout
 #: facts on the summary.
-CACHE_SCHEMA_VERSION = 3
+#: 4: SIM4xx temporal fields (schedule calls, float compares and
+#: time-target assigns, deadline sort keys, loop captures, ns true
+#: divisions).
+CACHE_SCHEMA_VERSION = 4
 
 #: File name used inside the cache directory.
 CACHE_FILE_NAME = "projectmodel.json"

@@ -42,6 +42,16 @@ hoist fix needs, **repeated global/builtin lookups**, and
 **try/except blocks** used inside the loop; eager **string building**
 (f-strings, ``%``, ``.format``, ``repr``) is recorded during the normal
 walk, skipping ``raise`` statements exactly like SIM104 does.
+
+For the temporal-soundness pass (SIM401-SIM406,
+:mod:`repro.lint.temporal`) the walk additionally types every time-sink
+expression on the exact-int-ns / float-derived / unknown lattice and
+records **schedule calls** (``<engine>.at``/``.after`` with the time
+argument's type and its ``>= now`` proof state), **float comparisons**
+on ns/rate quantities, **deadline-keyed orderings** without a tie-break
+(``sorted``/``.sort``/``heappush``), **loop-variable captures** in
+closures handed to the scheduler, and **true divisions on exact-ns
+operands** with the operator span the ``/`` -> ``//`` fix needs.
 """
 
 from __future__ import annotations
@@ -50,6 +60,19 @@ import ast
 import builtins
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
+
+from repro.lint.temporal import (
+    ANCHORED,
+    EXACT,
+    FLOAT,
+    SCHEDULE_SINKS,
+    SUBTRACTION,
+    UNKNOWN,
+    TimeInfo,
+    TimeTyper,
+    join_time,
+    now_proof,
+)
 
 __all__ = [
     "FunctionAnalyzer",
@@ -306,6 +329,32 @@ class FunctionFact:
     #: ``raise`` (SIM306): f-strings, ``%`` on a string literal,
     #: ``"...".format(...)``, ``repr(...)``.
     str_builds: List[Tuple[int, int, str]] = field(default_factory=list)
+    #: One record per ``<engine>.at``/``.after`` call (SIM401/SIM402):
+    #: ``{"line", "col", "attr", "receiver", "ttype", "quantity",
+    #: "ns_divs", "arg_src", "proof"}`` -- ``ttype`` on the temporal
+    #: lattice, ``proof`` in {"anchored", "subtraction", "unknown"}.
+    schedule_calls: List[Dict[str, Any]] = field(default_factory=list)
+    #: One record per float-derived comparison on an ns/rate quantity
+    #: (SIM403): ``{"line", "col", "quantity", "ops", "detail"}``.
+    float_compares: List[Dict[str, Any]] = field(default_factory=list)
+    #: One record per float-derived value assigned to an integer-time
+    #: target (SIM402): ``{"line", "col", "target", "detail"}``.
+    float_time_assigns: List[Dict[str, Any]] = field(default_factory=list)
+    #: One record per deadline-keyed ordering with no tie-break
+    #: (SIM404): ``{"line", "col", "kind", "key", "detail", "fix"}`` --
+    #: ``kind`` in {"sorted", ".sort", "heappush"}; ``fix`` carries the
+    #: span edit appending the stable ``uid`` key, or ``None``.
+    sort_keys: List[Dict[str, Any]] = field(default_factory=list)
+    #: One record per loop-variable capture in a closure handed to the
+    #: scheduler (SIM405): ``{"line", "col", "attr", "kind", "callee",
+    #: "vars", "fix"}`` -- ``fix`` rebinds the variables as lambda
+    #: default arguments, or ``None`` for local ``def`` closures.
+    loop_captures: List[Dict[str, Any]] = field(default_factory=list)
+    #: One record per true-division on exact-ns operands flowing to a
+    #: time sink (SIM406): ``{"line", "col", "sink", "left_src",
+    #: "op_span"}`` -- ``op_span`` is the 1-char ``/`` span the
+    #: ``//`` fix replaces (``None`` when the source is unavailable).
+    ns_true_divs: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -329,6 +378,12 @@ class FunctionFact:
             "loop_global_lookups": self.loop_global_lookups,
             "loop_try_excepts": self.loop_try_excepts,
             "str_builds": [list(item) for item in self.str_builds],
+            "schedule_calls": self.schedule_calls,
+            "float_compares": self.float_compares,
+            "float_time_assigns": self.float_time_assigns,
+            "sort_keys": self.sort_keys,
+            "loop_captures": self.loop_captures,
+            "ns_true_divs": self.ns_true_divs,
         }
 
     @classmethod
@@ -363,6 +418,12 @@ class FunctionFact:
             str_builds=[
                 (i[0], i[1], i[2]) for i in payload.get("str_builds", ())
             ],
+            schedule_calls=list(payload.get("schedule_calls", ())),
+            float_compares=list(payload.get("float_compares", ())),
+            float_time_assigns=list(payload.get("float_time_assigns", ())),
+            sort_keys=list(payload.get("sort_keys", ())),
+            loop_captures=list(payload.get("loop_captures", ())),
+            ns_true_divs=list(payload.get("ns_true_divs", ())),
         )
 
 
@@ -405,6 +466,19 @@ class FunctionAnalyzer:
         self.varying_vars: Set[str] = set()
         #: Names the body re-declares with ``global``.
         self.declared_globals: Set[str] = set()
+        #: Temporal lattice types of locals (name -> TimeInfo), kept in
+        #: sync through assignments; the typer falls back to the SIM101
+        #: naming convention for names it has never seen assigned.
+        self.time_env: Dict[str, TimeInfo] = {}
+        #: SIM401 proof states of locals (name -> anchored/subtraction).
+        self.time_proofs: Dict[str, str] = {}
+        self.typer = TimeTyper(classify_name, self.resolve_origin, self.time_env)
+        #: Target names of the ``for`` loops enclosing the current
+        #: statement (SIM405 late-binding capture detection).
+        self._loop_stack: List[Set[str]] = []
+        #: AST nodes of functions defined in this body, so a local
+        #: ``def`` handed to the scheduler can be checked for captures.
+        self._local_def_nodes: Dict[str, ast.AST] = {}
 
     # -- origin resolution -------------------------------------------------
 
@@ -474,6 +548,7 @@ class FunctionAnalyzer:
             self.infer(node.left)
             for comparator in node.comparators:
                 self.infer(comparator)
+            self._note_float_compare(node)
             return None
         if isinstance(node, ast.BoolOp):
             for value in node.values:
@@ -611,6 +686,8 @@ class FunctionAnalyzer:
             self._check_io_call(node, raw, resolved, attr)
             self._check_parallel_call(node, raw, resolved, attr)
             self._check_str_build_call(node, raw, attr)
+            self._check_schedule_call(node, raw, attr)
+            self._check_sort_call(node, raw, attr)
 
         # Return dimension of the call, for flow through assignments.
         if resolved in _NS_CONSTRUCTORS:
@@ -1003,6 +1080,430 @@ class FunctionAnalyzer:
             if isinstance(target, ast.Name):
                 self.varying_vars.add(target.id)
 
+    # -- SIM401-SIM406 raw material ----------------------------------------
+
+    _CMP_SYMBOLS: Mapping[type, str] = {
+        ast.Eq: "==",
+        ast.NotEq: "!=",
+        ast.Lt: "<",
+        ast.LtE: "<=",
+        ast.Gt: ">",
+        ast.GtE: ">=",
+    }
+
+    def _src(self, node: ast.expr) -> Optional[str]:
+        if self.source is None:
+            return None
+        return ast.get_source_segment(self.source, node)
+
+    @staticmethod
+    def _is_int_literal(node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, int)
+            and not isinstance(node.value, bool)
+        )
+
+    @staticmethod
+    def _is_time_target_name(terminal: str) -> bool:
+        """Whether an assignment target names an integer-time quantity."""
+        return classify_name(terminal) == "ns" or terminal.lower() == "eligible"
+
+    def _note_temporal_assign(
+        self, targets: List[ast.expr], value: ast.expr, stmt: ast.stmt
+    ) -> None:
+        """Track the lattice through assignments and flag float values
+        landing on ``*_ns``/deadline/eligible targets (SIM402/SIM406)."""
+        info = self.typer.info(value)
+        proof = now_proof(value, self.time_proofs)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self.time_env[target.id] = info
+                self.time_proofs[target.id] = proof
+        if self.fact is None:
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                terminal = target.id
+            elif isinstance(target, ast.Attribute):
+                terminal = target.attr
+            else:
+                continue
+            if not self._is_time_target_name(terminal):
+                continue
+            divs = self._ns_div_records(value, f"assignment to `{terminal}`")
+            if divs:
+                self.fact.ns_true_divs.extend(divs)
+            elif info.ttype == FLOAT:
+                self.fact.float_time_assigns.append(
+                    {
+                        "line": stmt.lineno,
+                        "col": stmt.col_offset,
+                        "target": terminal,
+                        "detail": (
+                            f"float-derived value assigned to integer-time "
+                            f"target `{terminal}`"
+                        ),
+                    }
+                )
+            # One record per statement is enough for the rule.
+            break
+
+    def _note_float_compare(self, node: ast.Compare) -> None:
+        """Record ``==``/``!=``/raw ordering touching a float-derived
+        ns/rate quantity (SIM403).  Ordering against a bare *integer*
+        literal stays exempt -- ``if bw_bytes_per_ns <= 0`` is a sign
+        check, not deadline arithmetic."""
+        if self.fact is None:
+            return
+        operands = [node.left, *node.comparators]
+        infos = [self.typer.info(operand) for operand in operands]
+        quantity = next(
+            (i.quantity for i in infos if i.quantity in ("ns", "rate")), None
+        )
+        if quantity is None or not any(i.ttype == FLOAT for i in infos):
+            return
+        symbols: List[str] = []
+        flagged = False
+        for index, op in enumerate(node.ops):
+            symbol = self._CMP_SYMBOLS.get(type(op))
+            if symbol is None:
+                continue
+            symbols.append(symbol)
+            left_info, right_info = infos[index], infos[index + 1]
+            if left_info.ttype != FLOAT and right_info.ttype != FLOAT:
+                continue
+            if symbol not in ("==", "!=") and (
+                self._is_int_literal(operands[index])
+                or self._is_int_literal(operands[index + 1])
+            ):
+                continue
+            flagged = True
+        if not flagged:
+            return
+        src = self._src(node)
+        self.fact.float_compares.append(
+            {
+                "line": node.lineno,
+                "col": node.col_offset,
+                "quantity": quantity,
+                "ops": symbols,
+                "detail": f"`{src}`" if src else f"`{'/'.join(symbols)}` comparison",
+            }
+        )
+
+    def _ns_div_records(self, expr: ast.expr, sink: str) -> List[Dict[str, Any]]:
+        """True divisions on exact-ns operands inside a time-sink
+        expression (SIM406), with the ``/`` span the ``//`` fix needs."""
+        records: List[Dict[str, Any]] = []
+        for sub in ast.walk(expr):
+            if not (isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div)):
+                continue
+            left = self.typer.info(sub.left)
+            right = self.typer.info(sub.right)
+            if left.ttype != EXACT or left.quantity != "ns":
+                continue
+            if right.ttype != EXACT:
+                continue
+            records.append(
+                {
+                    "line": sub.lineno,
+                    "col": sub.col_offset,
+                    "sink": sink,
+                    "left_src": self._src(sub.left),
+                    "op_span": self._div_op_span(sub),
+                }
+            )
+        return records
+
+    def _div_op_span(self, node: ast.BinOp) -> Optional[List[int]]:
+        """The 1-character span of the ``/`` operator between the
+        operands, located in the source text (``None`` if unavailable)."""
+        if self.source is None:
+            return None
+        left_end_line = node.left.end_lineno
+        left_end_col = node.left.end_col_offset
+        if left_end_line is None or left_end_col is None:
+            return None
+        lines = self.source.splitlines()
+        for lineno in range(left_end_line, node.right.lineno + 1):
+            if lineno - 1 >= len(lines):
+                break
+            text = lines[lineno - 1]
+            start = left_end_col if lineno == left_end_line else 0
+            stop = node.right.col_offset if lineno == node.right.lineno else len(text)
+            index = text.find("/", start, stop)
+            if index >= 0:
+                return [lineno, index, lineno, index + 1]
+        return None
+
+    def _check_schedule_call(self, node: ast.Call, raw: str, attr: str) -> None:
+        """Record ``<engine>.at``/``.after`` sites: the time argument's
+        lattice type, its ``>= now`` proof, any exact-ns true divisions
+        inside it, and loop-captured closures among the callback args."""
+        if self.fact is None:
+            return
+        sink = SCHEDULE_SINKS.get(attr)
+        if sink is None or len(node.args) <= sink:
+            return
+        receiver = raw.rsplit(".", 1)[0] if "." in raw else ""
+        if "engine" not in receiver.rsplit(".", 1)[-1].lower():
+            return
+        time_arg = node.args[sink]
+        if isinstance(time_arg, ast.Starred):
+            return
+        info = self.typer.info(time_arg)
+        divs = self._ns_div_records(time_arg, f"`{raw}(...)` time argument")
+        self.fact.ns_true_divs.extend(divs)
+        self.fact.schedule_calls.append(
+            {
+                "line": node.lineno,
+                "col": node.col_offset,
+                "attr": attr,
+                "receiver": receiver,
+                "ttype": info.ttype,
+                "quantity": info.quantity,
+                "ns_divs": len(divs),
+                "arg_src": self._src(time_arg),
+                "proof": (
+                    now_proof(time_arg, self.time_proofs)
+                    if attr == "at"
+                    else ANCHORED
+                ),
+            }
+        )
+        if not self._loop_stack:
+            return
+        active: Set[str] = set().union(*self._loop_stack)
+        for arg in node.args[sink + 1 :]:
+            if isinstance(arg, ast.Lambda):
+                self._note_lambda_capture(node, attr, arg, active)
+            elif isinstance(arg, ast.Name) and arg.id in self.local_defs:
+                def_node = self._local_def_nodes.get(arg.id)
+                if def_node is not None:
+                    self._note_def_capture(node, attr, arg.id, def_node, active)
+
+    def _note_lambda_capture(
+        self, call: ast.Call, attr: str, lam: ast.Lambda, active: Set[str]
+    ) -> None:
+        params = [
+            arg.arg
+            for arg in (
+                *lam.args.posonlyargs,
+                *lam.args.args,
+                *lam.args.kwonlyargs,
+            )
+        ]
+        if lam.args.vararg is not None:
+            params.append(lam.args.vararg.arg)
+        if lam.args.kwarg is not None:
+            params.append(lam.args.kwarg.arg)
+        captured = sorted(
+            {
+                sub.id
+                for sub in ast.walk(lam.body)
+                if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)
+            }
+            & active
+            - set(params)
+        )
+        if not captured:
+            return
+        fix: Optional[Dict[str, Any]] = None
+        plain_args = [arg.arg for arg in lam.args.args]
+        fixable = (
+            len(plain_args) == len(params)
+            and not lam.args.defaults
+            and not any(default is not None for default in lam.args.kw_defaults)
+            and lam.body.lineno == lam.lineno
+        )
+        if fixable:
+            bound = ", ".join([*plain_args, *[f"{v}={v}" for v in captured]])
+            fix = {
+                "span": [
+                    lam.lineno,
+                    lam.col_offset,
+                    lam.body.lineno,
+                    lam.body.col_offset,
+                ],
+                "replacement": f"lambda {bound}: ",
+            }
+        if self.fact is not None:
+            self.fact.loop_captures.append(
+                {
+                    "line": call.lineno,
+                    "col": call.col_offset,
+                    "attr": attr,
+                    "kind": "lambda",
+                    "callee": "<lambda>",
+                    "vars": captured,
+                    "fix": fix,
+                }
+            )
+
+    def _note_def_capture(
+        self,
+        call: ast.Call,
+        attr: str,
+        name: str,
+        def_node: ast.AST,
+        active: Set[str],
+    ) -> None:
+        if not isinstance(def_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        bound = {
+            arg.arg
+            for arg in (
+                *def_node.args.posonlyargs,
+                *def_node.args.args,
+                *def_node.args.kwonlyargs,
+            )
+        }
+        for node in def_node.body:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name) and isinstance(
+                    sub.ctx, (ast.Store, ast.Del)
+                ):
+                    bound.add(sub.id)
+        captured = sorted(
+            {
+                sub.id
+                for stmt in def_node.body
+                for sub in ast.walk(stmt)
+                if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)
+            }
+            & active
+            - bound
+        )
+        if captured and self.fact is not None:
+            self.fact.loop_captures.append(
+                {
+                    "line": call.lineno,
+                    "col": call.col_offset,
+                    "attr": attr,
+                    "kind": "local-def",
+                    "callee": name,
+                    "vars": captured,
+                    "fix": None,
+                }
+            )
+
+    #: Terminal names read as deadline keys by the SIM404 detector.
+    @staticmethod
+    def _deadline_terminal(node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        else:
+            return None
+        lowered = name.lower()
+        if (
+            lowered == "deadline"
+            or lowered.endswith("_deadline")
+            or lowered.startswith("deadline")
+            or lowered == "eligible"
+        ):
+            return name
+        return None
+
+    def _check_sort_call(self, node: ast.Call, raw: str, attr: str) -> None:
+        """Record deadline-keyed orderings with no tie-break (SIM404):
+        ``sorted``/``.sort`` whose key lambda returns a bare deadline,
+        and ``heappush`` of a ``(deadline, payload)`` 2-tuple."""
+        if self.fact is None:
+            return
+        if (raw == "sorted" and "sorted" not in self.local_names) or attr == "sort":
+            key_lambda: Optional[ast.Lambda] = None
+            for keyword in node.keywords:
+                if keyword.arg == "key" and isinstance(keyword.value, ast.Lambda):
+                    key_lambda = keyword.value
+            if key_lambda is None:
+                return
+            body = key_lambda.body
+            key_name = self._deadline_terminal(body)
+            if key_name is None:
+                return
+            kind = "sorted" if raw == "sorted" else ".sort"
+            fix: Optional[Dict[str, Any]] = None
+            params = [arg.arg for arg in key_lambda.args.args]
+            if (
+                isinstance(body, ast.Attribute)
+                and isinstance(body.value, ast.Name)
+                and len(params) == 1
+                and body.value.id == params[0]
+            ):
+                body_src = self._src(body)
+                if body_src is not None and body.end_lineno is not None:
+                    fix = {
+                        "span": [
+                            body.lineno,
+                            body.col_offset,
+                            body.end_lineno,
+                            body.end_col_offset,
+                        ],
+                        "replacement": f"({body_src}, {params[0]}.uid)",
+                    }
+            self.fact.sort_keys.append(
+                {
+                    "line": node.lineno,
+                    "col": node.col_offset,
+                    "kind": kind,
+                    "key": key_name,
+                    "detail": f"`{kind}` keyed on `{key_name}` alone",
+                    "fix": fix,
+                }
+            )
+            return
+        if "heappush" not in (attr or raw):
+            return
+        if len(node.args) < 2 or isinstance(node.args[1], ast.Starred):
+            return
+        item = node.args[1]
+        if isinstance(item, ast.Tuple):
+            if len(item.elts) != 2:
+                return
+            first, last = item.elts
+            key_name = self._deadline_terminal(first)
+            if key_name is None:
+                return
+            fix = None
+            if isinstance(last, (ast.Name, ast.Attribute)):
+                last_src = self._src(last)
+                if last_src is not None:
+                    fix = {
+                        "span": [
+                            last.lineno,
+                            last.col_offset,
+                            last.lineno,
+                            last.col_offset,
+                        ],
+                        "replacement": f"{last_src}.uid, ",
+                    }
+            self.fact.sort_keys.append(
+                {
+                    "line": node.lineno,
+                    "col": node.col_offset,
+                    "kind": "heappush",
+                    "key": key_name,
+                    "detail": f"`heappush` of `({key_name}, <payload>)` with no tie-break",
+                    "fix": fix,
+                }
+            )
+        else:
+            key_name = self._deadline_terminal(item)
+            if key_name is not None:
+                self.fact.sort_keys.append(
+                    {
+                        "line": node.lineno,
+                        "col": node.col_offset,
+                        "kind": "heappush",
+                        "key": key_name,
+                        "detail": f"`heappush` keyed on bare `{key_name}`",
+                        "fix": None,
+                    }
+                )
+
     # -- SIM102 raw material -----------------------------------------------
 
     def _is_set_expr(self, node: ast.expr) -> Optional[str]:
@@ -1070,6 +1571,7 @@ class FunctionAnalyzer:
                 elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     self.local_defs.add(node.name)
                     self.local_names.add(node.name)
+                    self._local_def_nodes[node.name] = node
         self.local_names.update(fact.params)
         self.local_names -= self.declared_globals
         self._visit_block(body)
@@ -1092,6 +1594,7 @@ class FunctionAnalyzer:
             dim = self.infer(stmt.value)
             is_set = self._is_set_expr(stmt.value) is not None
             self._note_varying_assign(stmt.value, stmt.targets)
+            self._note_temporal_assign(stmt.targets, stmt.value, stmt)
             for target in stmt.targets:
                 self._note_store_target(target, stmt)
                 self._assign_target(target, dim, is_set)
@@ -1110,6 +1613,7 @@ class FunctionAnalyzer:
                             )
                         )
                 self._note_varying_assign(stmt.value, [stmt.target])
+                self._note_temporal_assign([stmt.target], stmt.value, stmt)
                 self._note_store_target(stmt.target, stmt)
                 self._assign_target(
                     stmt.target, value_dim, self._is_set_expr(stmt.value) is not None
@@ -1132,6 +1636,18 @@ class FunctionAnalyzer:
                             f"with `{value_dim}`",
                         )
                     )
+            if isinstance(stmt.target, ast.Name):
+                name = stmt.target.id
+                prior = self.time_env.get(name, TimeInfo(ttype=UNKNOWN, quantity=None))
+                value_info = self.typer.info(stmt.value)
+                if isinstance(stmt.op, ast.Div):
+                    self.time_env[name] = TimeInfo(FLOAT, prior.quantity)
+                else:
+                    self.time_env[name] = TimeInfo(
+                        join_time(prior.ttype, value_info.ttype), prior.quantity
+                    )
+                if isinstance(stmt.op, ast.Sub):
+                    self.time_proofs[name] = SUBTRACTION
         elif isinstance(stmt, (ast.Expr, ast.Return)):
             if stmt.value is not None:
                 self.infer(stmt.value)
@@ -1140,7 +1656,19 @@ class FunctionAnalyzer:
             self.infer(stmt.iter)
             self._assign_target(stmt.target, None, False)
             self._analyze_loop(stmt)
-            self._visit_block(stmt.body)
+            loop_vars = {
+                sub.id
+                for sub in ast.walk(stmt.target)
+                if isinstance(sub, ast.Name)
+            }
+            for name in loop_vars:
+                self.time_env.pop(name, None)
+                self.time_proofs.pop(name, None)
+            self._loop_stack.append(loop_vars)
+            try:
+                self._visit_block(stmt.body)
+            finally:
+                self._loop_stack.pop()
             self._visit_block(stmt.orelse)
         elif isinstance(stmt, ast.While):
             self.infer(stmt.test)

@@ -207,8 +207,11 @@ def annotate_profile(
     model: ProjectModel,
     index: ProfileIndex,
 ) -> Tuple[List[Violation], Dict[str, Any]]:
-    """Attach ``{bucket, cum_seconds, fraction}`` to every SIM3xx
-    finding, ranking by measured cumulative time.
+    """Attach ``{bucket, cum_seconds, fraction}`` to every SIM3xx and
+    SIM4xx finding, ranking by measured cumulative time.
+
+    The temporal family rides the same attachment so a float deadline
+    in a measured-hot function surfaces before one in setup code.
 
     Returns the annotated list (same order) plus summary stats for the
     runner's ``--format json`` block.
@@ -216,7 +219,7 @@ def annotate_profile(
     annotated = list(violations)
     ranked: List[Tuple[int, Optional[float]]] = []
     for i, violation in enumerate(annotated):
-        if not violation.rule_id.startswith("SIM3"):
+        if not violation.rule_id.startswith(("SIM3", "SIM4")):
             continue
         cum: Optional[float] = None
         summary = model.by_path.get(violation.path)

@@ -46,14 +46,34 @@ SIM305    hot-exception-flow           try/except KeyError etc. as
                                        control flow inside hot loops
 SIM306    hot-eager-str                f-string/%%/.format/repr on the
                                        hot path outside obs and raises
+SIM401    schedule-in-past             ``engine.at(t)`` where ``t`` is
+                                       derived by subtraction with no
+                                       ``max(now, ...)`` clamp
+SIM402    float-time-flow              float-derived values reaching ns
+                                       time/deadline sinks (``at``,
+                                       ``after``, ``*_ns`` targets)
+SIM403    epsilon-free-float-compare   ``==``/``!=``/raw ordering on
+                                       float-derived time or bandwidth
+                                       quantities
+SIM404    unstable-edf-tiebreak        deadline-keyed sorts/heaps with
+                                       no deterministic tie-break in
+                                       engine/queue/switch-reachable code
+SIM405    late-binding-callback        loop-variable capture in closures
+                                       handed to ``at``/``after``
+SIM406    truncating-time-div          true division ``/`` on exact-ns
+                                       integers flowing to time sinks
 ========  ===========================  ====================================
 
 The SIM2xx rules run over the worker-reachability closure computed by
 :mod:`repro.lint.parallel`; the SIM3xx performance family runs over the
 engine-reachability closure from :mod:`repro.lint.hotpath` and is the
 family the profile-guided mode (``--profile prof.pstats``) ranks by
-measured cost.  Some findings carry a machine-applicable ``fix`` payload
-that ``repro-qos lint --fix`` consumes (:mod:`repro.lint.fixes`).
+measured cost.  The SIM4xx temporal family runs over the time-type
+lattice from :mod:`repro.lint.temporal` -- global for SIM401-403/405/406
+(a float deadline is a bug wherever it runs), hot-scoped for SIM404 (the
+tie-break discipline is an engine/queue contract).  Some findings carry
+a machine-applicable ``fix`` payload that ``repro-qos lint --fix``
+consumes (:mod:`repro.lint.fixes`).
 
 A finding is suppressed on its line with ``# simlint: allow-<name>`` or
 ``# simlint: allow-sim1xx`` (the lowercase rule id works as a pragma
@@ -75,6 +95,7 @@ from repro.lint.hotpath import (
 )
 from repro.lint.parallel import ParallelAnalysis, SubmissionSite, analyze_parallel
 from repro.lint.projectmodel import ModuleSummary, ProjectModel
+from repro.lint.temporal import FLOAT, SUBTRACTION, iter_temporal_facts
 from repro.lint.violations import Violation
 
 __all__ = ["PROJECT_RULES", "ProjectRule", "register_project_rule"]
@@ -1239,4 +1260,346 @@ class HotEagerStringRule(ProjectRule):
                     f"{detail} formats on every execution; move it to "
                     "an error path, the obs layer, or format lazily",
                     (summary.path, root_path),
+                )
+
+# ----------------------------------------------------------------------
+# SIM401-SIM406: temporal soundness (deadline arithmetic, monotonicity,
+# EDF tie-breaking) over the lattice from repro.lint.temporal
+# ----------------------------------------------------------------------
+def _span_fix(
+    kind: str,
+    path: str,
+    description: str,
+    span_fix: Optional[Dict[str, Any]],
+) -> Optional[Dict[str, Any]]:
+    """Adapt a dataflow ``{"span", "replacement"}`` record to the fix
+    payload :mod:`repro.lint.fixes` applies (``None`` passes through:
+    the finding still fires, the rewrite is left to a human)."""
+    if span_fix is None:
+        return None
+    span = span_fix["span"]
+    return {
+        "kind": kind,
+        "path": path,
+        "description": description,
+        "edits": [
+            {
+                "start_line": int(span[0]),
+                "start_col": int(span[1]),
+                "end_line": int(span[2]),
+                "end_col": int(span[3]),
+                "replacement": str(span_fix["replacement"]),
+            }
+        ],
+    }
+
+
+@register_project_rule
+class ScheduleInPastRule(ProjectRule):
+    id = "SIM401"
+    name = "schedule-in-past"
+    description = (
+        "engine.at(t) where t is derived by subtraction with no clamp "
+        "is not provably >= now; the engine raises mid-campaign when "
+        "the difference goes negative"
+    )
+    rationale = (
+        "Engine.at() rejects past timestamps at runtime, so a "
+        "subtraction-derived schedule time (`deadline - slack`, "
+        "`now - elapsed`) is a latent crash that only fires under the "
+        "load patterns that make the difference negative -- exactly the "
+        "near-critical-load campaigns where a dead run costs hours.  "
+        "Anchor the value instead: `max(engine.now, t)`, or add the "
+        "delta to `now` rather than subtracting from a deadline.  "
+        "Values with no evidence either way (parameters, opaque calls) "
+        "are never flagged; the engine's runtime guard remains the "
+        "backstop."
+    )
+    example_bad = (
+        "def arm(self, pkt):\n"
+        "    t = pkt.deadline_ns - self.guard_ns   # may be < now\n"
+        "    self.engine.at(t, self.fire)\n"
+    )
+    example_good = (
+        "def arm(self, pkt):\n"
+        "    t = max(self.engine.now, pkt.deadline_ns - self.guard_ns)\n"
+        "    self.engine.at(t, self.fire)\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        for summary, fact in iter_temporal_facts(model):
+            for rec in fact.schedule_calls:
+                if rec["attr"] != "at" or rec["proof"] != SUBTRACTION:
+                    continue
+                arg = rec.get("arg_src") or "the time argument"
+                yield self._violation(
+                    summary.path,
+                    int(rec["line"]),
+                    int(rec["col"]),
+                    f"`{rec['receiver']}.at({arg})` in `{fact.qualname}` "
+                    "schedules a subtraction-derived time with no "
+                    "`max(now, ...)` clamp; the engine raises if it "
+                    "lands in the past",
+                    (summary.path,),
+                )
+
+
+@register_project_rule
+class FloatTimeFlowRule(ProjectRule):
+    id = "SIM402"
+    name = "float-time-flow"
+    description = (
+        "float-derived values must not reach integer-nanosecond time "
+        "sinks (engine.at/after arguments, *_ns/deadline/eligible "
+        "assignment targets); construct times with sim.units helpers"
+    )
+    rationale = (
+        "Simulated time is exact integer nanoseconds (sim/units.py): "
+        "the engine heap, deadline comparisons, and the analytic EDF "
+        "cross-checks all assume it.  A float-derived deadline "
+        "(`rate * 1.5`, an un-rounded division) drifts by ulps, makes "
+        "event order depend on accumulated rounding, and breaks "
+        "byte-identical replay.  Convert at the boundary: us()/ms()/s() "
+        "for literals, round() after rate arithmetic, // for splits."
+    )
+    example_bad = (
+        "def schedule(self, engine, rate):\n"
+        "    deadline_ns = rate * 1.5        # float into a ns name\n"
+        "    engine.after(deadline_ns, self.fire)\n"
+    )
+    example_good = (
+        "def schedule(self, engine, rate):\n"
+        "    deadline_ns = round(rate * 1.5) # exact at the boundary\n"
+        "    engine.after(deadline_ns, self.fire)\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        for summary, fact in iter_temporal_facts(model):
+            for rec in fact.schedule_calls:
+                # Exact-ns true divisions inside the argument are
+                # SIM406's finding; do not double-report them here.
+                if rec["ttype"] != FLOAT or rec["ns_divs"]:
+                    continue
+                arg = rec.get("arg_src") or "the time argument"
+                yield self._violation(
+                    summary.path,
+                    int(rec["line"]),
+                    int(rec["col"]),
+                    f"float-derived value `{arg}` passed to "
+                    f"`{rec['receiver']}.{rec['attr']}(...)` in "
+                    f"`{fact.qualname}`; time sinks take exact integer "
+                    "nanoseconds (round() or use sim.units helpers)",
+                    (summary.path,),
+                )
+            for rec in fact.float_time_assigns:
+                yield self._violation(
+                    summary.path,
+                    int(rec["line"]),
+                    int(rec["col"]),
+                    f"{rec['detail']} in `{fact.qualname}`; integer-time "
+                    "names hold exact nanoseconds (round() or use "
+                    "sim.units helpers)",
+                    (summary.path,),
+                )
+
+
+@register_project_rule
+class EpsilonFreeFloatCompareRule(ProjectRule):
+    id = "SIM403"
+    name = "epsilon-free-float-compare"
+    description = (
+        "==/!= or raw ordering on float-derived time/bandwidth "
+        "quantities: accumulated rounding makes the comparison "
+        "seed-dependent; compare exact integers or use an explicit "
+        "epsilon helper"
+    )
+    rationale = (
+        "Float bookkeeping drifts: summing and subtracting reservations "
+        "leaves residues near 1e-16 that flip `== 0.0` and `<= cap` "
+        "either way depending on arrival order.  Admission decisions "
+        "built on such comparisons are nondeterministic across "
+        "campaigns.  Keep the books in exact integers (bytes/second "
+        "ints survive add/subtract exactly) or centralize the tolerance "
+        "in one documented epsilon helper.  Sign/validity checks "
+        "against integer literals (`bw <= 0`) are exempt -- ordering "
+        "against zero is not an equality-with-drift hazard."
+    )
+    example_bad = (
+        "remaining = self.reserved.get(link, 0.0) - bw\n"
+        "self.reserved[link] = remaining if remaining > 1e-12 else 0.0\n"
+    )
+    example_good = (
+        "# books kept in integer bytes/second: exact add/subtract\n"
+        "self.reserved_bps[link] -= bps(bw)\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        for summary, fact in iter_temporal_facts(model):
+            for rec in fact.float_compares:
+                quantity = "time" if rec["quantity"] == "ns" else "bandwidth"
+                yield self._violation(
+                    summary.path,
+                    int(rec["line"]),
+                    int(rec["col"]),
+                    f"{rec['detail']} compares a float-derived "
+                    f"{quantity} quantity in `{fact.qualname}`; keep "
+                    "the books in exact integers or use an epsilon "
+                    "helper",
+                    (summary.path,),
+                )
+
+
+@register_project_rule
+class UnstableEdfTiebreakRule(ProjectRule):
+    id = "SIM404"
+    name = "unstable-edf-tiebreak"
+    description = (
+        "deadline-keyed sorted()/.sort()/heappush in engine/queue/"
+        "switch-reachable code with no deterministic tie-break: equal "
+        "deadlines order arbitrarily; key on (deadline, uid)"
+    )
+    rationale = (
+        "EDF says nothing about equal deadlines, so the implementation "
+        "must: heapq is not stable, and a bare-deadline heap entry "
+        "falls back to comparing payloads (a TypeError on dataclasses, "
+        "insertion-address order otherwise).  The library idiom is the "
+        "`(deadline, uid, payload)` tuple -- uid is the monotonic "
+        "admission sequence, so ties break FIFO and replays are "
+        "byte-identical.  The machine fix appends the `.uid` tie-break "
+        "to the key."
+    )
+    example_bad = (
+        "heapq.heappush(self._heap, (pkt.deadline, pkt))\n"
+        "queue.sort(key=lambda p: p.deadline)\n"
+    )
+    example_good = (
+        "heapq.heappush(self._heap, (pkt.deadline, pkt.uid, pkt))\n"
+        "queue.sort(key=lambda p: (p.deadline, p.uid))\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        for node, summary, fact, root_path in _hot_function_facts(model, graph):
+            for rec in fact.sort_keys:
+                fix = _span_fix(
+                    "stable-sort-key",
+                    summary.path,
+                    f"append a `.uid` tie-break to the `{rec['key']}` "
+                    f"{rec['kind']} key",
+                    rec.get("fix"),
+                )
+                yield self._violation(
+                    summary.path,
+                    int(rec["line"]),
+                    int(rec["col"]),
+                    f"{rec['detail']} in hot-path `{node[1]}`; equal "
+                    "deadlines order arbitrarily -- key on "
+                    "`(deadline, uid)`",
+                    (summary.path, root_path),
+                    fix=fix,
+                )
+
+
+@register_project_rule
+class LateBindingCallbackRule(ProjectRule):
+    id = "SIM405"
+    name = "late-binding-callback"
+    description = (
+        "closure handed to engine.at/after captures a loop variable: "
+        "Python closes over the variable, not its value, so every "
+        "callback sees the final iteration when it fires"
+    )
+    rationale = (
+        "Scheduled callbacks fire after the loop has finished, and a "
+        "closure reads its free variables at call time -- so N "
+        "callbacks armed in a loop all act on the last item.  The bug "
+        "is silent (no exception, plausible-looking traffic) and "
+        "load-dependent.  Bind at definition time instead: a default "
+        "argument (`lambda it=it: ...`), functools.partial, or a "
+        "factory function.  The machine fix rewrites the lambda to "
+        "default-argument binding."
+    )
+    example_bad = (
+        "for flow in flows:\n"
+        "    engine.after(gap_ns, lambda: self.send(flow))\n"
+        "    # every callback sends the *last* flow\n"
+    )
+    example_good = (
+        "for flow in flows:\n"
+        "    engine.after(gap_ns, lambda flow=flow: self.send(flow))\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        for summary, fact in iter_temporal_facts(model):
+            for rec in fact.loop_captures:
+                names = ", ".join(f"`{v}`" for v in rec["vars"])
+                fix = _span_fix(
+                    "bind-loop-var",
+                    summary.path,
+                    f"bind {names} by default argument in the callback",
+                    rec.get("fix"),
+                )
+                callee = (
+                    "lambda" if rec["kind"] == "lambda" else f"`{rec['callee']}`"
+                )
+                yield self._violation(
+                    summary.path,
+                    int(rec["line"]),
+                    int(rec["col"]),
+                    f"{callee} passed to `.{rec['attr']}(...)` in "
+                    f"`{fact.qualname}` captures loop variable(s) "
+                    f"{names}; every callback fires with the final "
+                    "iteration's value -- bind with a default argument",
+                    (summary.path,),
+                    fix=fix,
+                )
+
+
+@register_project_rule
+class TruncatingTimeDivRule(ProjectRule):
+    id = "SIM406"
+    name = "truncating-time-div"
+    description = (
+        "true division `/` on exact-ns integers flowing to a time "
+        "sink produces a float; use `//` (or a sim.units helper) to "
+        "stay in exact integer nanoseconds"
+    )
+    rationale = (
+        "`span_ns / 2` is a float even when span_ns is even: one "
+        "division silently demotes the whole expression out of the "
+        "exact-integer time domain, and past 2**53 ns (~104 days of "
+        "simulated time) float cannot even represent every nanosecond.  "
+        "Floor division keeps the arithmetic closed over ints with "
+        "deterministic truncation.  The machine fix rewrites `/` to "
+        "`//` when both operands are exact."
+    )
+    example_bad = (
+        "def half_delay(self, engine, span_ns):\n"
+        "    engine.after(span_ns / 2, self.fire)   # float, truncates\n"
+    )
+    example_good = (
+        "def half_delay(self, engine, span_ns):\n"
+        "    engine.after(span_ns // 2, self.fire)  # exact integer ns\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        for summary, fact in iter_temporal_facts(model):
+            for rec in fact.ns_true_divs:
+                fix: Optional[Dict[str, Any]] = None
+                if rec.get("op_span") is not None:
+                    fix = _span_fix(
+                        "int-time-div",
+                        summary.path,
+                        f"rewrite `/` to `//` in {rec['sink']}",
+                        {"span": rec["op_span"], "replacement": "//"},
+                    )
+                left = rec.get("left_src") or "an exact-ns value"
+                yield self._violation(
+                    summary.path,
+                    int(rec["line"]),
+                    int(rec["col"]),
+                    f"true division of exact-ns `{left}` in "
+                    f"{rec['sink']} (`{fact.qualname}`) produces a "
+                    "float; use `//` to stay in integer nanoseconds",
+                    (summary.path,),
+                    fix=fix,
                 )

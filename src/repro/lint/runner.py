@@ -39,17 +39,61 @@ META_RULE_ID = "SIM000"
 SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
 
 
-def _select_rules(select: Optional[Iterable[str]]) -> List[Rule]:
-    if select is None:
+def _expand_rule_tokens(
+    tokens: Iterable[str], known: "frozenset[str]"
+) -> "set[str]":
+    """Expand ``--select``/``--ignore`` tokens into rule ids.
+
+    A token is a full id (``SIM104``) or a prefix (``SIM4`` selects the
+    whole temporal family).  A token matching nothing is a usage error,
+    not a silent no-op -- raise :class:`KeyError` so the CLI exits 2.
+    """
+    expanded: set = set()
+    for token in tokens:
+        wanted = token.strip().upper()
+        if not wanted:
+            continue
+        matches = {
+            rule_id
+            for rule_id in known
+            if rule_id == wanted or rule_id.startswith(wanted)
+        }
+        if not matches:
+            raise KeyError(
+                f"unknown rule or prefix {token!r} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        expanded |= matches
+    return expanded
+
+
+def resolve_rule_filter(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> Optional["frozenset[str]"]:
+    """The effective rule-id set: ``(select or all) - ignore``.
+
+    ``None`` means "no filter" (run everything); tokens may be full ids
+    or prefixes, resolved against both the per-file and the project
+    registries so ``--select SIM4`` works in either mode.
+    """
+    from repro.lint.project_rules import PROJECT_RULES
+
+    if select is None and ignore is None:
+        return None
+    known = frozenset(RULES) | frozenset(PROJECT_RULES)
+    effective = (
+        _expand_rule_tokens(select, known) if select is not None else set(known)
+    )
+    if ignore is not None:
+        effective -= _expand_rule_tokens(ignore, known)
+    return frozenset(effective)
+
+
+def _select_rules(effective: Optional["frozenset[str]"]) -> List[Rule]:
+    if effective is None:
         return [RULES[rule_id] for rule_id in sorted(RULES)]
-    rules = []
-    for rule_id in select:
-        rule = RULES.get(rule_id)
-        if rule is None:
-            known = ", ".join(sorted(RULES))
-            raise KeyError(f"unknown rule {rule_id!r} (known: {known})")
-        rules.append(rule)
-    return rules
+    return [RULES[rule_id] for rule_id in sorted(effective) if rule_id in RULES]
 
 
 def _known_pragma_names() -> "frozenset[str]":
@@ -70,9 +114,12 @@ def lint_source(
     path: str = "<string>",
     *,
     select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
 ) -> List[Violation]:
     """Lint one module given as text.  ``path`` is used for reporting and
-    for path-scoped rules (e.g. SIM006)."""
+    for path-scoped rules (e.g. SIM006).  ``select``/``ignore`` take rule
+    ids or prefixes (``SIM4``); the effective set is
+    ``(select or all) - ignore``."""
     posix_path = str(path).replace("\\", "/")
     try:
         tree = ast.parse(source, filename=posix_path)
@@ -88,6 +135,7 @@ def lint_source(
             )
         ]
 
+    effective = resolve_rule_filter(select, ignore)
     pragmas = parse_pragmas(source)
     allowed = allowed_by_line(pragmas)
     rule_names = _known_pragma_names()
@@ -113,7 +161,7 @@ def lint_source(
                 )
             )
 
-    for rule in _select_rules(select):
+    for rule in _select_rules(effective):
         if not rule.applies_to(posix_path):
             continue
         for node, message in rule.check(tree, posix_path):
@@ -134,11 +182,16 @@ def lint_source(
     return sorted(violations)
 
 
-def lint_file(path: PathLike, *, select: Optional[Iterable[str]] = None) -> List[Violation]:
+def lint_file(
+    path: PathLike,
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Violation]:
     """Lint one file on disk."""
     file_path = Path(path)
     source = file_path.read_text(encoding="utf-8")
-    return lint_source(source, str(file_path), select=select)
+    return lint_source(source, str(file_path), select=select, ignore=ignore)
 
 
 def _is_skipped(candidate: Path, root: Path) -> bool:
@@ -178,27 +231,13 @@ def lint_paths(
     paths: Sequence[PathLike],
     *,
     select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
 ) -> List[Violation]:
     """Lint every python file under ``paths`` (files or directories)."""
     violations: List[Violation] = []
     for file_path in iter_python_files(paths):
-        violations.extend(lint_file(file_path, select=select))
+        violations.extend(lint_file(file_path, select=select, ignore=ignore))
     return sorted(violations)
-
-
-def _validate_select(select: Optional[Iterable[str]]) -> Optional[List[str]]:
-    from repro.lint.project_rules import PROJECT_RULES
-
-    if select is None:
-        return None
-    selected = list(select)
-    known = set(RULES) | set(PROJECT_RULES)
-    for rule_id in selected:
-        if rule_id not in known:
-            raise KeyError(
-                f"unknown rule {rule_id!r} (known: {', '.join(sorted(known))})"
-            )
-    return selected
 
 
 def lint_project(
@@ -206,10 +245,16 @@ def lint_project(
     *,
     cache_dir: Optional[PathLike] = None,
     select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
     profile: Optional[PathLike] = None,
 ) -> Tuple[List[Violation], Dict[str, Any]]:
     """Whole-program lint: per-file SIM0xx rules *plus* the
     interprocedural SIM1xx rules over the project model.
+
+    ``select``/``ignore`` take rule ids or prefixes (``SIM4``); the
+    effective set is ``(select or all) - ignore`` and gates both the
+    per-file and the project rules (and therefore text/JSON/SARIF
+    output and the exit code).
 
     Returns ``(violations, stats)`` where ``stats`` reports how the
     incremental cache behaved: ``files`` scanned, cache ``hits``, cache
@@ -228,7 +273,7 @@ def lint_project(
     from repro.lint.project_rules import PROJECT_RULES
     from repro.lint.projectmodel import ModuleSummary, ProjectModel, extract_summary
 
-    selected = _validate_select(select)
+    selected = resolve_rule_filter(select, ignore)
     # Load before the scan so a bad --profile argument fails fast.
     index: Optional[ProfileIndex] = None
     profile_digest = ""

@@ -1,0 +1,375 @@
+"""Temporal-soundness lattice: abstract time types for expressions.
+
+The simulator's guarantees rest on three disciplines the type system
+cannot see (``sim/units.py``, ``sim/engine.py``):
+
+- simulated time and deadlines are **exact integer nanoseconds** --
+  float-derived values silently break event-order determinism and the
+  analytic EDF cross-checks;
+- values handed to ``Engine.at(t)`` must be **monotonic** (``t >= now``,
+  or the engine raises mid-campaign);
+- earliest-deadline orderings must carry a **deterministic tie-break**
+  (the ``(deadline, uid, payload)`` heap idiom).
+
+This module is the shared vocabulary of the SIM401-SIM406 project rules
+(:mod:`repro.lint.project_rules`): a three-point lattice of abstract
+time types, the dimension-aware expression typer the dataflow pass
+embeds (:class:`TimeTyper`), and the ``>= now`` proof classifier behind
+SIM401.
+
+The lattice
+===========
+
+========== =========================================================
+``exact``  provably an exact integer: int literals, ``us()/ms()/s()``
+           (they ``round`` to int), ``engine.now``, ``//``,
+           ``round()/int()/math.ceil()/math.floor()``, and names whose
+           SIM101 dimension is an integer quantity (``*_ns``,
+           ``*_bytes``)
+``float``  float-derived: float literals, true division ``/``,
+           ``float()``, ``gbps()`` and ``*_bytes_per_ns`` rates
+``unknown`` everything else -- never flagged
+========== =========================================================
+
+Arithmetic joins pessimistically: any ``float`` operand makes the
+result ``float``; only ``exact`` op ``exact`` stays ``exact`` (except
+``/``, which is always ``float`` -- that asymmetry is SIM406's signal).
+
+The sink table
+==============
+
+==========================  =========================================
+``<engine>.at(t, ...)``     absolute ns timestamp (SIM401/402/406)
+``<engine>.after(d, ...)``  relative ns delay (SIM402/406)
+``*_ns`` / ``deadline`` /   assignment targets with an integer time
+``eligible`` targets        dimension (SIM402/406)
+comparisons on ``ns`` /     equality or raw ordering of float-derived
+``rate`` quantities         time/bandwidth (SIM403)
+deadline-keyed orderings    ``sorted``/``.sort``/``heappush`` in
+                            engine/queue/switch-reachable code (SIM404)
+``at``/``after`` callbacks  closures capturing loop variables (SIM405)
+==========================  =========================================
+
+To avoid an import cycle the dataflow pass injects its own
+:func:`~repro.lint.dataflow.classify_name` and origin resolver; this
+module depends on nothing else in the package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Callable, Dict, Iterator, NamedTuple, Optional, Tuple
+
+__all__ = [
+    "EXACT",
+    "FLOAT",
+    "UNKNOWN",
+    "TimeInfo",
+    "TimeTyper",
+    "join_time",
+    "ANCHORED",
+    "SUBTRACTION",
+    "SCHEDULE_SINKS",
+    "now_proof",
+    "iter_temporal_facts",
+]
+
+#: The three abstract time types, ordered bottom-up for the join.
+EXACT = "exact"
+FLOAT = "float"
+UNKNOWN = "unknown"
+
+#: SIM401 proof states for a value scheduled with ``engine.at(t)``.
+ANCHORED = "anchored"  # provably >= now (now itself, now + d, max(now, ...))
+SUBTRACTION = "subtraction"  # derived by subtraction with no clamp
+UNPROVEN = "unknown"  # no evidence either way -- never flagged
+
+#: Engine scheduling sinks: attribute name -> index of the time argument.
+SCHEDULE_SINKS: Dict[str, int] = {"at": 0, "after": 0}
+
+#: Dimensions (from the SIM101 naming lattice) that are integer
+#: quantities by library convention -> ``exact`` presumption.
+_EXACT_DIMS = frozenset({"ns", "us", "ms", "s", "bytes"})
+#: Bandwidths (``*_bytes_per_ns``) are floats by convention (``gbps()``).
+_FLOAT_DIMS = frozenset({"rate"})
+
+#: Sanctioned origins in ``repro.sim.units`` (kept literal here rather
+#: than imported from the dataflow pass, which imports *us*).
+_EXACT_NS_CALLS = frozenset(
+    {"repro.sim.units.us", "repro.sim.units.ms", "repro.sim.units.s"}
+)
+_TIME_CONST_ORIGINS = frozenset(
+    {"repro.sim.units.US", "repro.sim.units.MS", "repro.sim.units.S"}
+)
+_DATA_CONST_ORIGINS = frozenset({"repro.sim.units.KB", "repro.sim.units.MB"})
+
+#: Calls that re-establish integer exactness (single-argument forms).
+_EXACTING_CALLS = frozenset({"int", "round", "ceil", "floor"})
+#: Calls forwarding the extremum/magnitude of their arguments.
+_JOINING_CALLS = frozenset({"min", "max", "abs"})
+
+
+class TimeInfo(NamedTuple):
+    """Abstract time type plus the SIM101 dimension it rides on."""
+
+    ttype: str  # EXACT | FLOAT | UNKNOWN
+    quantity: Optional[str]  # "ns", "rate", "bytes", "scalar", or None
+
+
+def join_time(a: str, b: str) -> str:
+    """Pessimistic join: float taints, exactness must hold on both sides."""
+    if a == FLOAT or b == FLOAT:
+        return FLOAT
+    if a == EXACT and b == EXACT:
+        return EXACT
+    return UNKNOWN
+
+
+def ttype_for_dim(dim: Optional[str]) -> str:
+    """Presumed time type of a value known only by its dimension."""
+    if dim in _EXACT_DIMS:
+        return EXACT
+    if dim in _FLOAT_DIMS:
+        return FLOAT
+    return UNKNOWN
+
+
+def _join_quantity(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    if a in (None, "scalar"):
+        return b
+    if b in (None, "scalar"):
+        return a
+    return a if a == b else None
+
+
+_UNKNOWN_INFO = TimeInfo(UNKNOWN, None)
+
+
+class TimeTyper:
+    """Assign a :class:`TimeInfo` to an expression.
+
+    A pure (side-effect-free) recursive walk: the dataflow pass calls it
+    on sink expressions after its own inference has run, so nothing is
+    double-recorded.  ``env`` is the live ``name -> TimeInfo`` map the
+    analyzer maintains through assignments; ``classify`` and ``resolve``
+    are :func:`~repro.lint.dataflow.classify_name` and the analyzer's
+    origin resolver, injected to keep this module import-cycle-free.
+    """
+
+    def __init__(
+        self,
+        classify: Callable[[str], Optional[str]],
+        resolve: Callable[[ast.AST], Optional[str]],
+        env: Dict[str, TimeInfo],
+    ) -> None:
+        self.classify = classify
+        self.resolve = resolve
+        self.env = env
+
+    # -- entry point -------------------------------------------------------
+
+    def info(self, node: ast.expr) -> TimeInfo:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return _UNKNOWN_INFO
+            if isinstance(node.value, int):
+                return TimeInfo(EXACT, "scalar")
+            if isinstance(node.value, float):
+                return TimeInfo(FLOAT, "scalar")
+            return _UNKNOWN_INFO
+        if isinstance(node, ast.Name):
+            known = self.env.get(node.id)
+            if known is not None:
+                return known
+            return self._named(node, node.id)
+        if isinstance(node, ast.Attribute):
+            return self._named(node, node.attr)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self.info(node.operand)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.IfExp):
+            a = self.info(node.body)
+            b = self.info(node.orelse)
+            return TimeInfo(join_time(a.ttype, b.ttype), _join_quantity(a.quantity, b.quantity))
+        return _UNKNOWN_INFO
+
+    # -- helpers -----------------------------------------------------------
+
+    def _named(self, node: ast.AST, terminal: str) -> TimeInfo:
+        origin = self.resolve(node)
+        if origin in _TIME_CONST_ORIGINS:
+            return TimeInfo(EXACT, "ns")
+        if origin in _DATA_CONST_ORIGINS:
+            return TimeInfo(EXACT, "bytes")
+        dim = self.classify(terminal)
+        return TimeInfo(ttype_for_dim(dim), dim)
+
+    def _binop(self, node: ast.BinOp) -> TimeInfo:
+        left = self.info(node.left)
+        right = self.info(node.right)
+        if isinstance(node.op, ast.Mult):
+            # `n * US` is the sanctioned conversion idiom: the constants
+            # are ints, so exactness follows the other operand.
+            for operand, other in ((node.left, right), (node.right, left)):
+                origin = self.resolve(operand)
+                if origin in _TIME_CONST_ORIGINS:
+                    return TimeInfo(join_time(other.ttype, EXACT), "ns")
+                if origin in _DATA_CONST_ORIGINS:
+                    return TimeInfo(join_time(other.ttype, EXACT), "bytes")
+            quantity = _join_quantity(left.quantity, right.quantity)
+            if {left.quantity, right.quantity} == {"ns", "rate"}:
+                quantity = "bytes"
+            return TimeInfo(join_time(left.ttype, right.ttype), quantity)
+        if isinstance(node.op, ast.Div):
+            # True division is float-valued regardless of its operands:
+            # this asymmetry against FloorDiv is exactly SIM406's signal.
+            return TimeInfo(FLOAT, self._div_quantity(left, right))
+        if isinstance(node.op, ast.FloorDiv):
+            return TimeInfo(
+                join_time(left.ttype, right.ttype), self._div_quantity(left, right)
+            )
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mod)):
+            return TimeInfo(
+                join_time(left.ttype, right.ttype),
+                _join_quantity(left.quantity, right.quantity),
+            )
+        return TimeInfo(join_time(left.ttype, right.ttype), None)
+
+    @staticmethod
+    def _div_quantity(left: TimeInfo, right: TimeInfo) -> Optional[str]:
+        if right.quantity in (None, "scalar"):
+            return left.quantity
+        if left.quantity == "bytes" and right.quantity == "rate":
+            return "ns"
+        if left.quantity == "bytes" and right.quantity == "ns":
+            return "rate"
+        if left.quantity is not None and left.quantity == right.quantity:
+            return "scalar"
+        return None
+
+    def _call(self, node: ast.Call) -> TimeInfo:
+        dotted: list = []
+        func = node.func
+        while isinstance(func, ast.Attribute):
+            dotted.append(func.attr)
+            func = func.value
+        tail = dotted[0] if dotted else (func.id if isinstance(func, ast.Name) else "")
+        origin = self.resolve(node.func)
+        if origin in _EXACT_NS_CALLS:
+            return TimeInfo(EXACT, "ns")
+        if tail == "gbps":
+            return TimeInfo(FLOAT, "rate")
+        if tail == "float":
+            arg = self.info(node.args[0]) if node.args else _UNKNOWN_INFO
+            return TimeInfo(FLOAT, arg.quantity)
+        if tail in _EXACTING_CALLS and node.args:
+            arg = self.info(node.args[0])
+            if tail == "round" and len(node.args) > 1:
+                # round(x, ndigits) returns float for float x.
+                return arg
+            return TimeInfo(EXACT, arg.quantity)
+        if tail in _JOINING_CALLS and node.args:
+            infos = [
+                self.info(a) for a in node.args if not isinstance(a, ast.Starred)
+            ]
+            if not infos:
+                return _UNKNOWN_INFO
+            ttype = infos[0].ttype
+            quantity = infos[0].quantity
+            for extra in infos[1:]:
+                ttype = join_time(ttype, extra.ttype)
+                quantity = _join_quantity(quantity, extra.quantity)
+            return TimeInfo(ttype, quantity)
+        if tail == "get" and len(node.args) >= 2:
+            # `table.get(key, default)`: the default's floatness taints
+            # the read (the admission.py reservation-table pattern); the
+            # container's values stay unknown.
+            default = self.info(node.args[1])
+            if default.ttype == FLOAT:
+                return TimeInfo(FLOAT, default.quantity)
+            return TimeInfo(UNKNOWN, default.quantity)
+        if tail:
+            # Fall back to the callee's own naming (`serialization_ns()`
+            # returns ns; a `*_bytes_per_ns()` helper returns a rate).
+            return self._named(node.func, tail)
+        return _UNKNOWN_INFO
+
+
+# -- SIM401: the ``>= now`` proof ------------------------------------------
+
+
+def now_proof(node: ast.expr, proofs: Dict[str, str]) -> str:
+    """Classify a value scheduled via ``engine.at(t)``.
+
+    ``anchored``   -- provably ``>= now``: ``X.now`` itself, addition to
+                      an anchored value, ``max(...)`` with an anchored
+                      argument, or a local assigned from one of those.
+    ``subtraction``-- contains a bare ``-`` with no clamp: the
+                      schedule-in-past bug class SIM401 flags.
+    ``unknown``    -- no evidence either way (parameters, opaque calls);
+                      never flagged, the engine's runtime guard remains.
+    """
+    if _is_anchored(node, proofs):
+        return ANCHORED
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Sub):
+            return SUBTRACTION
+        if isinstance(sub, ast.Name) and proofs.get(sub.id) == SUBTRACTION:
+            return SUBTRACTION
+    return UNPROVEN
+
+
+def _is_anchored(node: ast.expr, proofs: Dict[str, str]) -> bool:
+    if isinstance(node, ast.Attribute) and node.attr == "now":
+        return True
+    if isinstance(node, ast.Name):
+        if node.id == "now":
+            return True
+        return proofs.get(node.id) == ANCHORED
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return _is_anchored(node.left, proofs) or _is_anchored(node.right, proofs)
+    if isinstance(node, ast.Call):
+        func = node.func
+        tail = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else ""
+        )
+        if tail == "max":
+            return any(
+                _is_anchored(arg, proofs)
+                for arg in node.args
+                if not isinstance(arg, ast.Starred)
+            )
+        if tail in ("round", "int"):
+            return any(_is_anchored(arg, proofs) for arg in node.args[:1])
+        return False
+    if isinstance(node, ast.IfExp):
+        return _is_anchored(node.body, proofs) and _is_anchored(node.orelse, proofs)
+    return False
+
+
+# -- rule-facing iteration -------------------------------------------------
+
+
+def iter_temporal_facts(model: Any) -> Iterator[Tuple[Any, Any]]:
+    """Yield ``(summary, fact)`` for every function with temporal records.
+
+    The temporal rules (except the hot-scoped SIM404) are global: a
+    schedule-in-past or float deadline is a correctness bug wherever it
+    runs, setup code included.
+    """
+    for summary in model.summaries():
+        for fact in summary.functions.values():
+            if (
+                fact.schedule_calls
+                or fact.float_compares
+                or fact.float_time_assigns
+                or fact.sort_keys
+                or fact.loop_captures
+                or fact.ns_true_divs
+            ):
+                yield summary, fact

@@ -79,6 +79,24 @@ def gbps(gigabits_per_second: float) -> float:
     return gigabits_per_second / 8.0
 
 
+def bps(bytes_per_ns: float) -> int:
+    """A ``bytes per nanosecond`` rate as integer **bytes per second**.
+
+    The sanctioned conversion for exact bandwidth *bookkeeping*: sums
+    and differences of integer bytes/second are exact, so a ledger that
+    adds reservations on admit and subtracts the same converted value on
+    release returns to exactly zero -- no drift, no epsilon.  (Float
+    ``bytes_per_ns`` stays the unit for *arithmetic* like serialization
+    delays; convert at the ledger boundary.)
+
+    >>> bps(gbps(8.0))
+    1000000000
+    >>> bps(0.6) + bps(0.4) == bps(1.0)
+    True
+    """
+    return round(bytes_per_ns * S)
+
+
 def serialization_ns(size_bytes: int, bytes_per_ns: float) -> int:
     """Time to clock ``size_bytes`` onto a link of the given rate.
 

@@ -47,7 +47,7 @@ class CbrSource(TrafficSource):
         self.dst = dst
         self.rate = rate_bytes_per_ns
         self.message_bytes = message_bytes
-        self.period_ns = message_bytes / rate_bytes_per_ns
+        self.period_ns = round(message_bytes / rate_bytes_per_ns)
         self.flow: FlowState = fabric.open_flow(
             src,
             dst,

@@ -51,7 +51,9 @@ class ControlSource(TrafficSource):
         self.tclass = tclass
         self.vc = vc
         self.mean_size = (lo + hi) / 2.0
-        self.mean_gap_ns = self.mean_size / rate_bytes_per_ns
+        # Mean of a continuous distribution, kept float for expovariate;
+        # the schedule sink rounds per sample (base.py _tick).
+        self.mean_gap_ns = self.mean_size / rate_bytes_per_ns  # simlint: allow-float-time-flow
         #: one shared per-host control record (Section 3.1)
         self.stamper = ControlStamper(fabric.params.bytes_per_ns)
         self._flows: Dict[int, FlowState] = {}

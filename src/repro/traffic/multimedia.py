@@ -58,7 +58,9 @@ class VideoStream(TrafficSource):
             raise ValueError(f"fps must be positive, got {fps}")
         self.dst = dst
         self.rate = rate_bytes_per_ns
-        self.frame_period_ns = units.S / fps
+        # Kept float so non-integer fps (e.g. 29.97) accumulates no
+        # per-frame truncation bias; the schedule sink rounds per frame.
+        self.frame_period_ns = units.S / fps  # simlint: allow-float-time-flow
         mean_frame = rate_bytes_per_ns * self.frame_period_ns
         self.frames = GopFrameSizes(
             mean_frame,

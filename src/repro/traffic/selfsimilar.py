@@ -75,7 +75,9 @@ class SelfSimilarSource(TrafficSource):
         self.gap_alpha = gap_alpha
         self.gap_mode = gap_mode
         self.sizes = BoundedPareto(size_alpha, *size_range)
-        self.mean_gap_ns = self.sizes.mean / rate_bytes_per_ns
+        # Mean of the Pareto interarrival process, kept float so the
+        # sampler is unbiased; the schedule sink rounds per sample.
+        self.mean_gap_ns = self.sizes.mean / rate_bytes_per_ns  # simlint: allow-float-time-flow
         #: deadline-generation bandwidth of this class's aggregated record
         self.deadline_bw = (
             deadline_bw_bytes_per_ns

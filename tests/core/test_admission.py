@@ -6,6 +6,7 @@ from typing import Tuple
 import pytest
 
 from repro.core.admission import AdmissionController, AdmissionError
+from repro.sim import units
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,20 @@ class TestRelease:
         for i in range(10):
             ctl.release(i)
         assert ctl.reserved["shared"] == 0.0
+
+    def test_repeated_reserve_release_is_exactly_zero(self):
+        # The ledger is integer bytes/second: cycling awkward float
+        # rates (1/3 B/ns has no finite binary representation) must
+        # return every link to exactly zero -- not approximately.
+        ctl = AdmissionController(single_shared_path, link_capacity=1.0)
+        rates = [units.gbps(8.0) / 3.0, 0.1, 0.2, 1.0 / 7.0]
+        for cycle in range(25):
+            for i, rate in enumerate(rates):
+                ctl.reserve(cycle * len(rates) + i, 0, 1, rate)
+            for i in range(len(rates)):
+                ctl.release(cycle * len(rates) + i)
+            assert ctl.reserved["shared"] == 0
+        assert ctl.utilization("shared") == 0.0
 
     def test_utilization_query(self):
         ctl = AdmissionController(single_shared_path, link_capacity=2.0)

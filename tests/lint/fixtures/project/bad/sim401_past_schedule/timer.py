@@ -1,0 +1,6 @@
+"""Schedules a subtraction-derived time with no clamp."""
+
+
+def arm(engine, deadline_ns, guard_ns, fire):
+    t = deadline_ns - guard_ns
+    engine.at(t, fire)

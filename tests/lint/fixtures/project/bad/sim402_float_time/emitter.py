@@ -1,0 +1,6 @@
+"""A float-derived gap flows into an integer-time name and a sink."""
+
+
+def schedule(engine, size_bytes, rate_bytes_per_ns, fire):
+    gap_ns = size_bytes / rate_bytes_per_ns
+    engine.after(gap_ns, fire)

@@ -1,0 +1,6 @@
+"""Float reservation bookkeeping compared against an ad-hoc epsilon."""
+
+
+def settle(table, link, bw_bytes_per_ns):
+    remaining = table.get(link, 0.0) - bw_bytes_per_ns
+    return remaining if remaining > 1e-12 else 0.0

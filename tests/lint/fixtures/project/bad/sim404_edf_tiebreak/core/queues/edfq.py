@@ -1,0 +1,11 @@
+"""Hot-path module: deadline orderings with no deterministic tie-break."""
+
+import heapq
+
+
+def push(heap, pkt):
+    heapq.heappush(heap, (pkt.deadline, pkt))
+
+
+def order(queue):
+    queue.sort(key=lambda p: p.deadline)

@@ -1,0 +1,6 @@
+"""Loop-variable capture in callbacks handed to the engine."""
+
+
+def arm_all(engine, flows, send):
+    for flow in flows:
+        engine.after(10, lambda: send(flow))

@@ -1,0 +1,6 @@
+"""Anchors the schedule time with a max(now, ...) clamp."""
+
+
+def arm(engine, deadline_ns, guard_ns, fire):
+    t = max(engine.now, deadline_ns - guard_ns)
+    engine.at(t, fire)

@@ -1,0 +1,6 @@
+"""The float arithmetic is rounded at the time boundary."""
+
+
+def schedule(engine, size_bytes, rate_bytes_per_ns, fire):
+    gap_ns = round(size_bytes / rate_bytes_per_ns)
+    engine.after(gap_ns, fire)

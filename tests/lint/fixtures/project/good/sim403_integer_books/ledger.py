@@ -1,0 +1,6 @@
+"""Integer bytes/second bookkeeping: exact subtraction, no epsilon."""
+
+
+def settle(table, link, bw_bps):
+    remaining = table.get(link, 0) - bw_bps
+    return remaining

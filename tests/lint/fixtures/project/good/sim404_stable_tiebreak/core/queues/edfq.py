@@ -1,0 +1,11 @@
+"""Hot-path module: the library's (deadline, uid, payload) idiom."""
+
+import heapq
+
+
+def push(heap, pkt):
+    heapq.heappush(heap, (pkt.deadline, pkt.uid, pkt))
+
+
+def order(queue):
+    queue.sort(key=lambda p: (p.deadline, p.uid))

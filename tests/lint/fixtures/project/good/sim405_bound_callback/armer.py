@@ -1,0 +1,6 @@
+"""Default-argument binding captures each iteration's value."""
+
+
+def arm_all(engine, flows, send):
+    for flow in flows:
+        engine.after(10, lambda flow=flow: send(flow))

@@ -1,0 +1,10 @@
+"""Floor division keeps time arithmetic closed over integers."""
+
+
+def half_delay(engine, span_ns, fire):
+    engine.after(span_ns // 2, fire)
+
+
+def phase(span_ns):
+    step_ns = span_ns // 4
+    return step_ns

@@ -1,0 +1,470 @@
+"""Tests for the temporal-soundness layer (SIM401-SIM406).
+
+Covers the fixture matrix (each bad fixture flags exactly its rule,
+each good fixture is clean), the time-type lattice and the ``>= now``
+proof classifier as units, the SIM404/405/406 machine fixes and their
+idempotence, pragma suppression, ``--select``/``--ignore`` interaction,
+the profile-ranking attachment on SIM4xx findings, and the cache
+round-trip of the temporal dataflow facts.
+"""
+
+from __future__ import annotations
+
+import ast
+import cProfile
+import heapq
+import shutil
+from pathlib import Path
+from typing import Optional
+
+import pytest
+
+from repro.cli import main
+from repro.lint import apply_fixes, lint_project
+from repro.lint.dataflow import classify_name
+from repro.lint.projectmodel import extract_summary
+from repro.lint.temporal import (
+    ANCHORED,
+    EXACT,
+    FLOAT,
+    SUBTRACTION,
+    UNKNOWN,
+    UNPROVEN,
+    TimeTyper,
+    join_time,
+    now_proof,
+    ttype_for_dim,
+)
+
+HERE = Path(__file__).parent
+PROJECT_FIXTURES = HERE / "fixtures" / "project"
+
+FIXTURE_MATRIX = [
+    ("SIM401", "sim401_past_schedule", "sim401_clamped_schedule"),
+    ("SIM402", "sim402_float_time", "sim402_exact_time"),
+    ("SIM403", "sim403_float_compare", "sim403_integer_books"),
+    ("SIM404", "sim404_edf_tiebreak", "sim404_stable_tiebreak"),
+    ("SIM405", "sim405_late_binding", "sim405_bound_callback"),
+    ("SIM406", "sim406_time_div", "sim406_floor_div"),
+]
+
+FIXABLE = [
+    "sim404_edf_tiebreak",
+    "sim405_late_binding",
+    "sim406_time_div",
+]
+
+
+def _expr(source: str) -> ast.expr:
+    return ast.parse(source, mode="eval").body
+
+
+def _typer(env: Optional[dict] = None) -> TimeTyper:
+    return TimeTyper(classify_name, lambda node: None, env or {})
+
+
+class TestTimeLattice:
+    def test_join_float_taints(self):
+        assert join_time(EXACT, FLOAT) == FLOAT
+        assert join_time(FLOAT, UNKNOWN) == FLOAT
+        assert join_time(EXACT, EXACT) == EXACT
+        assert join_time(EXACT, UNKNOWN) == UNKNOWN
+
+    def test_dim_presumptions(self):
+        assert ttype_for_dim("ns") == EXACT
+        assert ttype_for_dim("bytes") == EXACT
+        assert ttype_for_dim("rate") == FLOAT
+        assert ttype_for_dim(None) == UNKNOWN
+
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("5", EXACT),
+            ("1.5", FLOAT),
+            ("a_ns + b_ns", EXACT),
+            ("a_ns / 2", FLOAT),  # true division is SIM406's signal
+            ("a_ns // 2", EXACT),
+            ("round(a_ns / 2)", EXACT),
+            ("int(x)", EXACT),
+            ("float(a_ns)", FLOAT),
+            ("gbps(8.0)", FLOAT),
+            ("max(a_ns, b_ns)", EXACT),
+            ("max(a_ns, rate_bytes_per_ns)", FLOAT),
+            ("mystery(x)", UNKNOWN),
+        ],
+    )
+    def test_expression_types(self, source, expected):
+        assert _typer().info(_expr(source)).ttype == expected
+
+    def test_env_overrides_naming(self):
+        from repro.lint.temporal import TimeInfo
+
+        env = {"gap_ns": TimeInfo(FLOAT, "ns")}
+        assert _typer(env).info(_expr("gap_ns")).ttype == FLOAT
+        assert _typer().info(_expr("gap_ns")).ttype == EXACT
+
+    def test_get_default_taints_the_read(self):
+        # The admission.py reservation-table pattern.
+        assert _typer().info(_expr("table.get(k, 0.0)")).ttype == FLOAT
+        assert _typer().info(_expr("table.get(k, 0)")).ttype == UNKNOWN
+
+    def test_quantity_tracks_dimension_algebra(self):
+        info = _typer().info(_expr("size_bytes / rate_bytes_per_ns"))
+        assert (info.ttype, info.quantity) == (FLOAT, "ns")
+
+    def test_round_with_ndigits_keeps_floatness(self):
+        assert _typer().info(_expr("round(x / 3, 2)")).ttype == FLOAT
+
+
+class TestNowProof:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("engine.now", ANCHORED),
+            ("engine.now + delay_ns", ANCHORED),
+            ("max(engine.now, deadline_ns - guard_ns)", ANCHORED),
+            ("round(engine.now + delay_ns)", ANCHORED),
+            ("deadline_ns - guard_ns", SUBTRACTION),
+            ("deadline_ns", UNPROVEN),
+            ("compute_time()", UNPROVEN),
+        ],
+    )
+    def test_direct_expressions(self, source, expected):
+        assert now_proof(_expr(source), {}) == expected
+
+    def test_proofs_flow_through_names(self):
+        assert now_proof(_expr("t"), {"t": SUBTRACTION}) == SUBTRACTION
+        assert now_proof(_expr("t"), {"t": ANCHORED}) == ANCHORED
+        assert now_proof(_expr("t"), {}) == UNPROVEN
+
+    def test_ifexp_needs_both_arms_anchored(self):
+        both = _expr("engine.now if fast else engine.now + gap_ns")
+        one = _expr("engine.now if fast else deadline_ns")
+        assert now_proof(both, {}) == ANCHORED
+        assert now_proof(one, {}) == UNPROVEN
+
+
+class TestTemporalFacts:
+    def test_schedule_call_records_proof_and_type(self):
+        summary = extract_summary(
+            "def arm(engine, deadline_ns, guard_ns, cb):\n"
+            "    t = deadline_ns - guard_ns\n"
+            "    engine.at(t, cb)\n",
+            "mod.py",
+        )
+        (rec,) = summary.functions["arm"].schedule_calls
+        assert rec["attr"] == "at"
+        assert rec["proof"] == SUBTRACTION
+        assert rec["ttype"] == EXACT
+
+    def test_non_engine_receiver_is_ignored(self):
+        summary = extract_summary(
+            "def arm(scheduler, t, cb):\n"
+            "    scheduler.at(t - 1, cb)\n",
+            "mod.py",
+        )
+        assert summary.functions["arm"].schedule_calls == []
+
+    def test_loop_capture_skips_default_bound_lambda(self):
+        summary = extract_summary(
+            "def arm(engine, flows, send):\n"
+            "    for flow in flows:\n"
+            "        engine.after(10, lambda flow=flow: send(flow))\n",
+            "mod.py",
+        )
+        assert summary.functions["arm"].loop_captures == []
+
+    def test_local_def_capture_is_recorded_without_fix(self):
+        summary = extract_summary(
+            "def arm(engine, flows, send):\n"
+            "    for flow in flows:\n"
+            "        def fire():\n"
+            "            send(flow)\n"
+            "        engine.after(10, fire)\n",
+            "mod.py",
+        )
+        (rec,) = summary.functions["arm"].loop_captures
+        assert rec["kind"] == "local-def"
+        assert rec["vars"] == ["flow"]
+        assert rec["fix"] is None
+
+
+class TestFixtureMatrix:
+    @pytest.mark.parametrize(
+        "rule_id,bad_dir,good_dir",
+        FIXTURE_MATRIX,
+        ids=[row[0] for row in FIXTURE_MATRIX],
+    )
+    def test_bad_fixture_flags_exactly_its_rule(self, rule_id, bad_dir, good_dir):
+        violations, _ = lint_project([PROJECT_FIXTURES / "bad" / bad_dir])
+        assert violations, f"{bad_dir} produced no findings"
+        assert {v.rule_id for v in violations} == {rule_id}
+
+    @pytest.mark.parametrize(
+        "rule_id,bad_dir,good_dir",
+        FIXTURE_MATRIX,
+        ids=[row[0] for row in FIXTURE_MATRIX],
+    )
+    def test_good_fixture_is_clean(self, rule_id, bad_dir, good_dir):
+        violations, _ = lint_project([PROJECT_FIXTURES / "good" / good_dir])
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+
+class TestMachineFixes:
+    @pytest.mark.parametrize("bad_dir", FIXABLE)
+    def test_fix_resolves_the_finding(self, tmp_path, bad_dir):
+        target = tmp_path / bad_dir
+        shutil.copytree(PROJECT_FIXTURES / "bad" / bad_dir, target)
+        violations, _ = lint_project([target])
+        report = apply_fixes(violations, dry_run=False)
+        assert report.files_changed
+        after, _ = lint_project([target])
+        assert after == [], "\n".join(v.format() for v in after)
+
+    @pytest.mark.parametrize("bad_dir", FIXABLE)
+    def test_fix_is_idempotent(self, tmp_path, bad_dir):
+        target = tmp_path / bad_dir
+        shutil.copytree(PROJECT_FIXTURES / "bad" / bad_dir, target)
+        violations, _ = lint_project([target])
+        apply_fixes(violations, dry_run=False)
+        snapshot = {
+            p: p.read_text(encoding="utf-8") for p in target.rglob("*.py")
+        }
+        after, _ = lint_project([target])
+        report = apply_fixes(after, dry_run=False)
+        assert not report.files_changed
+        assert snapshot == {
+            p: p.read_text(encoding="utf-8") for p in target.rglob("*.py")
+        }
+
+    @pytest.mark.parametrize("bad_dir", FIXABLE)
+    def test_dry_run_leaves_files_alone(self, tmp_path, bad_dir):
+        target = tmp_path / bad_dir
+        shutil.copytree(PROJECT_FIXTURES / "bad" / bad_dir, target)
+        before = {
+            p: p.read_text(encoding="utf-8") for p in target.rglob("*.py")
+        }
+        violations, _ = lint_project([target])
+        report = apply_fixes(violations, dry_run=True)
+        assert report.files_changed
+        assert before == {
+            p: p.read_text(encoding="utf-8") for p in target.rglob("*.py")
+        }
+
+    def test_sim404_fix_produces_stable_edf_order(self, tmp_path):
+        target = tmp_path / "sim404"
+        shutil.copytree(
+            PROJECT_FIXTURES / "bad" / "sim404_edf_tiebreak", target
+        )
+        violations, _ = lint_project([target])
+        apply_fixes(violations, dry_run=False)
+        text = (target / "core" / "queues" / "edfq.py").read_text(
+            encoding="utf-8"
+        )
+        assert "(pkt.deadline, pkt.uid, pkt)" in text
+        assert "(p.deadline, p.uid)" in text
+        namespace: dict = {}
+        exec(compile(text, "edfq.py", "exec"), namespace)
+
+        class Pkt:
+            def __init__(self, deadline, uid):
+                self.deadline, self.uid = deadline, uid
+
+        heap: list = []
+        first, second = Pkt(100, 1), Pkt(100, 2)
+        namespace["push"](heap, second)
+        namespace["push"](heap, first)
+        assert heapq.heappop(heap)[2] is first  # FIFO on equal deadlines
+
+    def test_sim405_fix_binds_each_iteration(self, tmp_path):
+        target = tmp_path / "sim405"
+        shutil.copytree(
+            PROJECT_FIXTURES / "bad" / "sim405_late_binding", target
+        )
+        violations, _ = lint_project([target])
+        apply_fixes(violations, dry_run=False)
+        text = (target / "armer.py").read_text(encoding="utf-8")
+        namespace: dict = {}
+        exec(compile(text, "armer.py", "exec"), namespace)
+
+        callbacks = []
+
+        class FakeEngine:
+            def after(self, delay, cb):
+                callbacks.append(cb)
+
+        seen: list = []
+        namespace["arm_all"](FakeEngine(), ["a", "b", "c"], seen.append)
+        for cb in callbacks:
+            cb()
+        assert seen == ["a", "b", "c"]  # not ["c", "c", "c"]
+
+
+class TestPragmas:
+    @pytest.mark.parametrize(
+        "spelling", ["allow-truncating-time-div", "allow-sim406"]
+    )
+    def test_pragma_on_offending_line_suppresses(self, tmp_path, spelling):
+        target = tmp_path / "sim406"
+        shutil.copytree(PROJECT_FIXTURES / "bad" / "sim406_time_div", target)
+        module = target / "splitter.py"
+        lines = module.read_text(encoding="utf-8").splitlines()
+        lines[4] += f"  # simlint: {spelling}"
+        lines[8] += f"  # simlint: {spelling}"
+        module.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        violations, _ = lint_project([target])
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+    def test_pragma_on_other_line_does_not_suppress(self, tmp_path):
+        target = tmp_path / "sim401"
+        shutil.copytree(
+            PROJECT_FIXTURES / "bad" / "sim401_past_schedule", target
+        )
+        module = target / "timer.py"
+        lines = module.read_text(encoding="utf-8").splitlines()
+        lines[0] += "  # simlint: allow-schedule-in-past"
+        module.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        violations, _ = lint_project([target])
+        assert [v.rule_id for v in violations] == ["SIM401"]
+
+
+class TestSelectIgnore:
+    def test_prefix_selects_the_family(self):
+        bad = PROJECT_FIXTURES / "bad"
+        violations, _ = lint_project(
+            [bad / "sim402_float_time", bad / "sim301_loop_allocation"],
+            select=["SIM4"],
+        )
+        assert violations
+        assert all(v.rule_id.startswith("SIM4") for v in violations)
+
+    def test_ignore_subtracts_from_select(self):
+        bad = PROJECT_FIXTURES / "bad"
+        violations, _ = lint_project(
+            [bad / "sim402_float_time", bad / "sim406_time_div"],
+            select=["SIM4"],
+            ignore=["SIM406"],
+        )
+        assert {v.rule_id for v in violations} == {"SIM402"}
+
+    def test_ignore_alone_subtracts_from_all(self):
+        bad = PROJECT_FIXTURES / "bad"
+        violations, _ = lint_project(
+            [bad / "sim402_float_time"], ignore=["SIM4"]
+        )
+        assert violations == []
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(KeyError, match="SIM9"):
+            lint_project(
+                [PROJECT_FIXTURES / "bad" / "sim402_float_time"],
+                select=["SIM9"],
+            )
+
+
+class TestProfileAttachment:
+    def test_hot_temporal_finding_ranks_first(self, tmp_path):
+        project = tmp_path / "proj"
+        shutil.copytree(
+            PROJECT_FIXTURES / "bad" / "sim404_edf_tiebreak", project
+        )
+        module = project / "core" / "queues" / "edfq.py"
+        namespace: dict = {}
+        exec(
+            compile(
+                module.read_text(encoding="utf-8"),
+                str(module).replace("\\", "/"),
+                "exec",
+            ),
+            namespace,
+        )
+        class Pkt:
+            def __init__(self, deadline):
+                self.deadline = deadline
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        for i in range(20000):
+            namespace["push"]([], Pkt(i))
+        profiler.disable()
+        dump = tmp_path / "prof.pstats"
+        profiler.dump_stats(str(dump))
+
+        violations, stats = lint_project([project], profile=dump)
+        by_line = {v.line: v for v in violations if v.rule_id == "SIM404"}
+        assert by_line[7].profile["bucket"] == "hot"
+        assert by_line[7].profile["cum_seconds"] > 0.0
+        assert by_line[11].profile["bucket"] == "cold"  # never executed
+        assert stats["profile"]["ranked"] == 2
+
+
+class TestCacheRoundTrip:
+    def test_warm_run_reparses_nothing_and_agrees(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        target = PROJECT_FIXTURES / "bad" / "sim404_edf_tiebreak"
+        cold, cold_stats = lint_project([target], cache_dir=cache_dir)
+        warm, warm_stats = lint_project([target], cache_dir=cache_dir)
+        assert cold_stats["misses"] == 1 and cold_stats["hits"] == 0
+        assert warm_stats["misses"] == 0 and warm_stats["hits"] == 1
+        # The temporal facts (sort_keys incl. fix spans) survived the
+        # to_dict/from_dict round trip: identical findings either way.
+        assert warm == cold
+        assert any(v.fix for v in warm)
+
+    def test_schema_version_fingerprints_temporal_fields(self):
+        from repro.lint.cache import CACHE_SCHEMA_VERSION
+
+        assert CACHE_SCHEMA_VERSION == 4
+
+
+class TestCli:
+    @pytest.mark.parametrize(
+        "rule_id",
+        ["SIM401", "SIM402", "SIM403", "SIM404", "SIM405", "SIM406"],
+    )
+    def test_explain_covers_the_family(self, rule_id, capsys):
+        assert main(["lint", "--explain", rule_id]) == 0
+        out = capsys.readouterr().out
+        assert rule_id in out
+        assert "example" in out.lower()
+
+    def test_select_prefix_gates_exit_code(self):
+        bad = PROJECT_FIXTURES / "bad" / "sim402_float_time"
+        assert main(["lint", "--project", "--select", "SIM4", str(bad)]) == 1
+        assert main(["lint", "--project", "--select", "SIM1", str(bad)]) == 0
+
+    def test_ignore_flag_gates_exit_code(self):
+        bad = PROJECT_FIXTURES / "bad" / "sim402_float_time"
+        assert main(["lint", "--project", "--ignore", "SIM4", str(bad)]) == 0
+
+    def test_unknown_ignore_is_usage_error(self, capsys):
+        bad = PROJECT_FIXTURES / "bad" / "sim402_float_time"
+        assert main(["lint", "--project", "--ignore", "SIM9", str(bad)]) == 2
+        assert "SIM9" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("fmt", ["json", "sarif"])
+    def test_structured_output_honors_the_filter(self, fmt, capsys):
+        import json
+
+        bad = PROJECT_FIXTURES / "bad"
+        argv = [
+            "lint",
+            "--project",
+            "--format",
+            fmt,
+            "--select",
+            "SIM4",
+            "--ignore",
+            "SIM406",
+            str(bad / "sim402_float_time"),
+            str(bad / "sim406_time_div"),
+        ]
+        assert main(argv) == 1
+        payload = json.loads(capsys.readouterr().out)
+        if fmt == "json":
+            rules = {v["rule"] for v in payload["violations"]}
+        else:
+            rules = {
+                r["ruleId"] for r in payload["runs"][0]["results"]
+            }
+        assert rules == {"SIM402"}
