@@ -16,6 +16,10 @@ Subcommands:
                    loads, and the spine-layer fairness index.
 - ``metrics``   -- pretty-print one metrics snapshot (from ``run
                    --metrics-out``) or diff two; ``--schema`` validates.
+- ``trace``     -- span-trace analysis over a ``run --trace-spans`` dump:
+                   ``trace blame`` attributes missed-deadline slack to
+                   lifecycle stages; ``trace export`` converts to Chrome
+                   trace-event JSON (Perfetto-loadable).
 - ``list``      -- enumerate architectures and topology presets.
 
 Examples::
@@ -24,6 +28,8 @@ Examples::
     repro-qos figure fig2 --loads 0.4 0.8 1.0 --topology tiny --out fig2.csv
     repro-qos claims --load 1.0
     repro-qos replicate --arch simple-2vc --seeds 1 2 3 4 5
+    repro-qos run --load 1.0 --trace-spans spans.jsonl && \\
+        repro-qos trace blame spans.jsonl
 """
 
 from __future__ import annotations
@@ -121,6 +127,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace ring-buffer size in records (default: 100000)",
     )
     run_p.add_argument(
+        "--trace-spans",
+        default=None,
+        metavar="FILE",
+        help="enable span-based packet-lifecycle tracing and write the "
+        "retained span chains as JSONL here (see `repro-qos trace`)",
+    )
+    run_p.add_argument(
+        "--span-policy",
+        choices=["tail", "head"],
+        default="tail",
+        help="span sampling policy: 'tail' retains only deadline misses, "
+        "'head' samples per-flow at --span-rate (default: tail)",
+    )
+    run_p.add_argument(
+        "--span-rate",
+        type=float,
+        default=0.01,
+        metavar="P",
+        help="head-sampling probability per packet in [0, 1] "
+        "(default: 0.01; ignored under --span-policy tail)",
+    )
+    run_p.add_argument(
+        "--span-capacity",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="span-trace ring size in packets, newest kept (default: 4096)",
+    )
+    run_p.add_argument(
+        "--trace-chrome",
+        default=None,
+        metavar="FILE",
+        help="also write the retained spans as Chrome trace-event JSON "
+        "(load in Perfetto / chrome://tracing)",
+    )
+    run_p.add_argument(
         "--heartbeat-us",
         type=float,
         default=200.0,
@@ -196,6 +238,44 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="validate the snapshot(s) against this JSON schema first "
         "(e.g. docs/metrics_schema.json); exit 1 on violations",
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="analyze a span-trace dump from `run --trace-spans`"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    blame_p = trace_sub.add_parser(
+        "blame",
+        help="attribute missed-deadline slack to lifecycle stages per class",
+    )
+    blame_p.add_argument("spans", metavar="SPANS_JSONL")
+    blame_p.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="N",
+        help="node-level hotspot sites to list per class (default: 5)",
+    )
+    blame_p.add_argument(
+        "--all",
+        action="store_true",
+        help="attribute every retained trace, not just deadline misses "
+        "(useful with head sampling, which retains hits too)",
+    )
+    blame_p.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    export_p = trace_sub.add_parser(
+        "export",
+        help="convert a span-trace dump to Chrome trace-event JSON",
+    )
+    export_p.add_argument("spans", metavar="SPANS_JSONL")
+    export_p.add_argument(
+        "-o",
+        "--out",
+        default="trace.json",
+        metavar="FILE",
+        help="Chrome trace-event output path (default: trace.json)",
     )
 
     lint_p = sub.add_parser(
@@ -320,6 +400,7 @@ def _config_from(args: argparse.Namespace, *, arch: str, load: float) -> Experim
 def _cmd_run(args: argparse.Namespace) -> int:
     metrics = None
     trace = None
+    tracer = None
     if args.metrics_out or args.live:
         from repro.obs.metrics import MetricsRegistry
 
@@ -328,11 +409,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.sim.monitor import Trace
 
         trace = Trace(capacity=args.trace_capacity, ring=True)
+    if args.trace_spans or args.trace_chrome:
+        from repro.obs.metrics import NULL_METRICS
+        from repro.obs.tracing import PacketTracer
+
+        try:
+            tracer = PacketTracer(
+                policy=args.span_policy,
+                rate=args.span_rate,
+                capacity=args.span_capacity,
+                seed=args.seed,
+                metrics=metrics if metrics is not None else NULL_METRICS,
+            )
+        except ValueError as exc:
+            print(f"repro-qos run: {exc}", file=sys.stderr)
+            return 2
     observing = metrics is not None or args.live
     result = run_experiment(
         _config_from(args, arch=args.arch, load=args.load),
         metrics=metrics,
         trace=trace,
+        tracer=tracer,
         heartbeat_ns=units.us(args.heartbeat_us) if observing else None,
         live_progress=args.live,
     )
@@ -350,6 +447,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             engine=result.fabric.engine,
             telemetry=result.telemetry,
             trace=trace,
+            tracer=tracer,
             run_info={
                 "architecture": args.arch,
                 "load": args.load,
@@ -374,6 +472,72 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{trace.dropped} dropped]",
             file=sys.stderr,
         )
+    if args.trace_spans:
+        from repro.obs.tracing import write_spans_jsonl
+
+        with open(args.trace_spans, "w", encoding="utf-8") as fp:
+            written = write_spans_jsonl(tracer, fp)
+        print(
+            f"[span traces written to {args.trace_spans}: {written} retained "
+            f"({tracer.misses} misses, {tracer.dropped} dropped)]",
+            file=sys.stderr,
+        )
+    if args.trace_chrome:
+        from repro.obs.tracing import write_chrome_trace
+
+        with open(args.trace_chrome, "w", encoding="utf-8") as fp:
+            events = write_chrome_trace(
+                tracer.records,
+                fp,
+                run_info={
+                    "architecture": args.arch,
+                    "load": args.load,
+                    "topology": args.topology,
+                    "seed": args.seed,
+                },
+            )
+        print(
+            f"[chrome trace written to {args.trace_chrome}: {events} span "
+            "events; load in Perfetto or chrome://tracing]",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.tracing import read_spans_jsonl
+
+    try:
+        header, traces = read_spans_jsonl(args.spans)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"repro-qos trace: {exc}", file=sys.stderr)
+        return 2
+    if args.trace_command == "export":
+        from repro.obs.tracing import write_chrome_trace
+
+        with open(args.out, "w", encoding="utf-8") as fp:
+            events = write_chrome_trace(traces, fp, run_info={"source": args.spans})
+        print(
+            f"[chrome trace written to {args.out}: {events} span events "
+            f"from {len(traces)} packet(s)]",
+            file=sys.stderr,
+        )
+        return 0
+    from repro.obs.blame import analyze_blame
+
+    try:
+        report = analyze_blame(traces, missed_only=not args.all, top=args.top)
+    except ValueError as exc:
+        print(f"repro-qos trace blame: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.format_json(), end="")
+    else:
+        policy = header.get("policy", "?")
+        print(f"[{len(traces)} retained trace(s), policy {policy}]", file=sys.stderr)
+        print(report.format(), end="")
     return 0
 
 
@@ -807,6 +971,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_list()
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "profile":

@@ -34,6 +34,7 @@ class RunResult:
     #: Observability extras (populated when the caller opts in).
     metrics: Optional[object] = None
     telemetry: Optional[RunTelemetry] = None
+    tracer: Optional[object] = None
 
     # ------------------------------------------------------------------
     def mean_packet_latency(self, tclass: str) -> float:
@@ -127,6 +128,7 @@ def run_experiment(
     collector: Optional[MetricsCollector] = None,
     metrics=None,
     trace=None,
+    tracer=None,
     heartbeat_ns: Optional[int] = None,
     live_progress: bool = False,
 ) -> RunResult:
@@ -134,12 +136,13 @@ def run_experiment(
 
     Deterministic in ``config`` (including the seed): repeated calls
     return identical statistics.  Observability is opt-in: pass a
-    :class:`repro.obs.MetricsRegistry` as ``metrics`` and/or a
-    :class:`repro.sim.monitor.Trace` as ``trace`` to instrument the run,
-    and a ``heartbeat_ns`` to sample telemetry on that simulated-time
-    interval (``live_progress`` additionally prints a stderr status
-    line).  None of these change simulation results -- telemetry only
-    observes (the determinism tests assert as much).
+    :class:`repro.obs.MetricsRegistry` as ``metrics``, a
+    :class:`repro.sim.monitor.Trace` as ``trace``, and/or a
+    :class:`repro.obs.tracing.PacketTracer` as ``tracer`` to instrument
+    the run, and a ``heartbeat_ns`` to sample telemetry on that
+    simulated-time interval (``live_progress`` additionally prints a
+    stderr status line).  None of these change simulation results --
+    telemetry only observes (the determinism tests assert as much).
     """
     topology = make_topology(config.topology)
     architecture = ARCHITECTURES[config.architecture]
@@ -147,6 +150,8 @@ def run_experiment(
     fabric_kwargs = {"metrics": metrics}
     if trace is not None:
         fabric_kwargs["trace"] = trace
+    if tracer is not None:
+        fabric_kwargs["tracer"] = tracer
     fabric = Fabric(topology, architecture, config.params, **fabric_kwargs)
     streams = RandomStreams(config.seed)
     mix = build_mix(fabric, streams, config.mix_config)
@@ -187,4 +192,5 @@ def run_experiment(
         wall_seconds=wall,
         metrics=metrics if metrics is not NULL_METRICS else None,
         telemetry=telemetry,
+        tracer=tracer,
     )

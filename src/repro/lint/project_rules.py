@@ -382,8 +382,10 @@ class HotPathPurityRule(ProjectRule):
         "breaks.  The observability layer (any module under an obs/ "
         "directory, i.e. repro.obs) is sanctioned by design: its "
         "counters/histograms are the one blessed way to look at the hot "
-        "path, its own I/O (live progress) is heartbeat-gated, and its "
-        "overhead is budgeted by a dedicated benchmark instead of this "
+        "path, its own I/O (live progress, span-trace JSONL/Chrome-trace "
+        "export in obs/tracing.py) runs heartbeat-gated or after the "
+        "simulation, and its overhead is budgeted by a dedicated "
+        "benchmark instead of this "
         "rule.  Campaign execution (any module under an exec/ directory, "
         "i.e. repro.exec) is likewise sanctioned: spawning worker "
         "processes and writing cache entries *is* its job, and it runs "

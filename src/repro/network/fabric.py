@@ -34,6 +34,7 @@ from repro.network.packet import Packet, VC_BEST_EFFORT, VC_REGULATED
 from repro.network.routing import RoutingTable
 from repro.network.topology import Topology, paper_topology
 from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.engine import Engine
 from repro.sim.monitor import NullTrace
 from repro.sim.rng import RandomStreams
@@ -112,6 +113,7 @@ class Fabric:
         engine: Optional[Engine] = None,
         trace=_NULL_TRACE,
         metrics=NULL_METRICS,
+        tracer=NULL_TRACER,
     ):
         self.topology = topology
         self.architecture = architecture
@@ -119,6 +121,7 @@ class Fabric:
         self.engine = engine or Engine()
         self.trace = trace
         self.metrics = metrics
+        self.tracer = tracer
         self.flows = FlowRegistry()
         self.routing = RoutingTable(topology)
         self.admission = AdmissionController(
@@ -155,6 +158,7 @@ class Fabric:
                 ),
                 n_vcs=params.n_vcs,
                 metrics=metrics,
+                tracer=tracer,
             )
             for index, node_id in enumerate(topology.host_ids)
         ]
@@ -169,6 +173,7 @@ class Fabric:
                 trace=trace,
                 n_vcs=params.n_vcs,
                 metrics=metrics,
+                tracer=tracer,
             )
             for sw_id in topology.switch_ids
         }

@@ -22,7 +22,7 @@ consumed immediately and its buffer credit returned at once.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.architectures import Architecture
 from repro.core.eligible import EligiblePolicy
@@ -30,7 +30,8 @@ from repro.core.flow import FlowKind, FlowState
 from repro.core.queues import EDFHeapQueue, FifoQueue, PacketQueue
 from repro.network.link import Link
 from repro.network.packet import N_VCS, Packet, VC_REGULATED
-from repro.obs.metrics import NULL_METRICS, SLACK_BUCKETS_NS
+from repro.obs.metrics import NULL_METRICS, SLACK_BUCKETS_NS, Counter, class_counter
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.engine import Engine, EventHandle
 from repro.sim.monitor import NullTrace
 
@@ -71,6 +72,8 @@ class Host:
         "_m_miss",
         "_m_miss_by_class",
         "_m_stalls",
+        "tracer",
+        "_span_on",
     )
 
     def __init__(
@@ -87,6 +90,7 @@ class Host:
         clock_offset: int = 0,
         n_vcs: int = N_VCS,
         metrics=NULL_METRICS,
+        tracer=NULL_TRACER,
     ):
         if mtu <= 0:
             raise ValueError(f"MTU must be positive, got {mtu}")
@@ -132,10 +136,13 @@ class Host:
             metrics.counter(f"network.host.vc{vc}.deadline_miss_total", unit="packets")  # simlint: allow-hot-eager-str
             for vc in range(n_vcs)
         ]
-        self._m_miss_by_class: dict = {}
+        self._m_miss_by_class: Dict[str, Counter] = {}
         self._m_stalls = metrics.counter(
             "network.host.eligible_stalls_total", unit="packets"
         )
+        # Span tracing (same cached-flag discipline as ``_obs_on``).
+        self.tracer = tracer
+        self._span_on = tracer.enabled
 
     # ------------------------------------------------------------------
     # wiring
@@ -216,6 +223,9 @@ class Host:
                 birth=true_now,  # statistics are always in simulation time
             )
             packets.append(pkt)
+            if self._span_on:
+                # Sampling decision at birth; winners get pkt.traced set.
+                self.tracer.begin(pkt, true_now, self.node_id)
             self.packets_submitted += 1
             self.bytes_submitted += size
             flow.packets_sent += 1
@@ -251,6 +261,8 @@ class Host:
         moved = False
         while pending and pending[0][0] <= now:
             _, _, pkt = heapq.heappop(pending)
+            if self._span_on and pkt.traced:
+                self.tracer.event(pkt, "eligible", self.engine.now)
             self._ready[pkt.vc].push(pkt)
             moved = True
         self._wake = None
@@ -285,6 +297,8 @@ class Host:
         self.bytes_injected += pkt.size
         if self.trace.enabled:
             self.trace.record(self.engine.now, "host.inject", self.node_id, pkt.uid, pkt.vc)
+        if self._span_on and pkt.traced:
+            self.tracer.event(pkt, "inject", pkt.inject)
         link.transmit(pkt)
 
     # ------------------------------------------------------------------
@@ -303,22 +317,25 @@ class Host:
         link.return_credit(pkt.vc, pkt.size)
         if self.trace.enabled:
             self.trace.record(now, "host.deliver", self.node_id, pkt.uid, pkt.vc)
-        if self._obs_on:
+        tracing = self._span_on and pkt.traced
+        if self._obs_on or tracing:
             # Slack on this NIC's local clock: TTD-mode links re-base the
             # deadline onto it, and with zero skew local == simulation time.
             slack_ns = pkt.deadline - (now + self.clock_offset)
-            self._m_slack[pkt.vc].observe(slack_ns)
-            if slack_ns < 0:
-                self._m_miss[pkt.vc].inc()
-                miss = self._m_miss_by_class.get(pkt.tclass)
-                if miss is None:
-                    # First miss for this class only; every later miss hits
-                    # the _m_miss_by_class dict and never formats.
-                    miss = self._m_miss_by_class[pkt.tclass] = self.metrics.counter(
-                        f"network.host.class.{pkt.tclass}.deadline_miss_total",  # simlint: allow-hot-eager-str
-                        unit="packets",
-                    )
-                miss.inc()
+            if self._obs_on:
+                self._m_slack[pkt.vc].observe(slack_ns)
+                if slack_ns < 0:
+                    self._m_miss[pkt.vc].inc()
+                    # First miss per class mints (and caches) its counter;
+                    # every later miss is one dict probe, no formatting.
+                    class_counter(
+                        self.metrics,
+                        self._m_miss_by_class,
+                        pkt.tclass,
+                        "network.host.class.{tclass}.deadline_miss_total",
+                    ).inc()
+            if tracing:
+                self.tracer.finish(pkt, now, node=self.node_id, link=link, slack_ns=slack_ns)
         if self.on_delivery is not None:
             self.on_delivery(pkt, now)
 

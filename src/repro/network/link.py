@@ -149,6 +149,15 @@ class Link:
         """The directed-link key used by admission's bandwidth ledger."""
         return (self.src, self.src_port)
 
+    def occupancy_ns(self, size_bytes: int) -> int:
+        """Integer time this link's channel is occupied clocking
+        ``size_bytes`` out -- the serialization component of a wire
+        segment.  The span tracer uses it to split each arrival interval
+        into ``link.transmit`` + ``link.propagate`` exactly (the same
+        rounded-up value :meth:`transmit` schedules with, so the split
+        telescopes without remainder)."""
+        return serialization_ns(size_bytes, self.bytes_per_ns)
+
     # ------------------------------------------------------------------
     def can_send(self, pkt: Packet) -> bool:
         return not self.busy and self.channel.can_send(pkt.vc, pkt.size)
@@ -159,7 +168,7 @@ class Link:
             raise CreditError(f"link {self.src}:{self.src_port} is busy")
         self.channel.consume(pkt.vc, pkt.size)
         self.busy = True
-        tx_ns = serialization_ns(pkt.size, self.bytes_per_ns)
+        tx_ns = self.occupancy_ns(pkt.size)
         self.busy_ns += tx_ns
         self.engine.after(tx_ns, self._tx_done, pkt)
 

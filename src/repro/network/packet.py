@@ -73,6 +73,7 @@ class Packet:
         "inject",
         "deliver",
         "hop_arrival",
+        "traced",
     )
 
     def __init__(
@@ -119,6 +120,12 @@ class Packet:
         #: bookkeeping only (arbitration-wait histograms); switches never
         #: arbitrate on it, so it is not part of the header discipline.
         self.hop_arrival: Optional[int] = None
+        #: Set by :class:`repro.obs.tracing.PacketTracer` when the packet
+        #: won the sampling draw at birth.  Instrumentation sites check
+        #: this single bool before calling the tracer, so untraced
+        #: packets pay one attribute load per site; arbiters never read
+        #: it (not part of the header discipline).
+        self.traced = False
 
     def next_output_port(self) -> int:
         """Source routing: the output port to take at the current switch."""

@@ -43,6 +43,7 @@ from repro.core.queues import PacketQueue
 from repro.network.link import Link
 from repro.network.packet import N_VCS, Packet
 from repro.obs.metrics import DEPTH_BUCKETS, NULL_METRICS, WAIT_BUCKETS_NS
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.engine import Engine
 from repro.sim.monitor import NullTrace
 
@@ -75,6 +76,8 @@ class Switch:
         "_m_order_errors",
         "_m_depth",
         "_m_wait",
+        "tracer",
+        "_span_on",
     )
 
     def __init__(
@@ -86,6 +89,7 @@ class Switch:
         trace=_NULL_TRACE,
         n_vcs: int = N_VCS,
         metrics=NULL_METRICS,
+        tracer=NULL_TRACER,
     ):
         if n_ports < 1:
             raise ValueError(f"switch needs >= 1 port, got {n_ports}")
@@ -161,6 +165,9 @@ class Switch:
                 [MeteredPicker(picker, picks, grants) for picker in per_out]
                 for per_out in self._pickers
             ]
+        # Span tracing (same cached-flag discipline as ``_obs_on``).
+        self.tracer = tracer
+        self._span_on = tracer.enabled
 
     def _clock(self) -> int:
         return self.engine.now
@@ -201,6 +208,10 @@ class Switch:
             self._m_depth.observe(len(queue))
         if self.trace.enabled:
             self.trace.record(self.engine.now, "switch.enqueue", self.node_id, in_port, out_port, pkt.uid)
+        if self._span_on and pkt.traced:
+            # ``link`` is the wire the packet just crossed: its occupancy
+            # splits the segment into transmit + propagate exactly.
+            self.tracer.arrive(pkt, self.engine.now, self.node_id, link)
         out_link = self.out_links[out_port]
         if out_link is not None and not out_link.busy:
             self._try_output(out_port)
@@ -259,6 +270,10 @@ class Switch:
             self._m_order_errors[pkt.vc].inc()
 
     def _send(self, pkt: Packet, out_link: Link, in_port: int) -> None:
+        if self._span_on and pkt.traced:
+            # Before transmit so the forward timestamp is the instant the
+            # packet won arbitration (same engine.now either way).
+            self.tracer.event(pkt, "forward", self.engine.now, self.node_id)
         out_link.transmit(pkt)
         self.packets_forwarded += 1
         self.bytes_forwarded += pkt.size

@@ -13,11 +13,18 @@ observability pays (almost) nothing:
 - :mod:`repro.obs.snapshot` / :mod:`repro.obs.schema` -- the stable JSON
   snapshot document, pretty-printer, differ, JSONL trace dump, and a
   dependency-free schema validator used by CI.
+- :mod:`repro.obs.tracing` / :mod:`repro.obs.blame` -- span-based
+  packet-lifecycle tracing (exact integer-ns per-stage decomposition,
+  head/tail sampling, Chrome-trace + JSONL export) and the
+  ``trace blame`` slack-attribution analyzer;
+  :data:`~repro.obs.tracing.NULL_TRACER` is the disabled default.
 
-See docs/ARCHITECTURE.md section 8 for the design rationale and the
-metric naming scheme (``<layer>.<component>.<name>_<unit>``).
+See docs/ARCHITECTURE.md section 8 for the design rationale, the metric
+naming scheme (``<layer>.<component>.<name>_<unit>``), and section 8.1
+for the span model.
 """
 
+from repro.obs.blame import BlameReport, analyze_blame
 from repro.obs.metrics import (
     Counter,
     DEPTH_BUCKETS,
@@ -29,6 +36,7 @@ from repro.obs.metrics import (
     NullMetrics,
     SLACK_BUCKETS_NS,
     WAIT_BUCKETS_NS,
+    class_counter,
 )
 from repro.obs.schema import validate
 from repro.obs.snapshot import (
@@ -46,8 +54,19 @@ from repro.obs.telemetry import (
     fabric_samplers,
     sync_component_totals,
 )
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullPacketTracer,
+    PacketTracer,
+    Span,
+    SpanTrace,
+    read_spans_jsonl,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
 
 __all__ = [
+    "BlameReport",
     "Counter",
     "DEPTH_BUCKETS",
     "Gauge",
@@ -55,19 +74,28 @@ __all__ = [
     "MetricError",
     "MetricsRegistry",
     "NULL_METRICS",
+    "NULL_TRACER",
     "NullMetrics",
+    "NullPacketTracer",
+    "PacketTracer",
     "RunTelemetry",
     "SLACK_BUCKETS_NS",
+    "Span",
+    "SpanTrace",
     "WAIT_BUCKETS_NS",
+    "analyze_blame",
     "attach_run_telemetry",
+    "class_counter",
     "diff_snapshots",
     "dump_snapshot",
     "fabric_samplers",
     "format_diff",
     "format_snapshot",
     "load_snapshot",
+    "read_spans_jsonl",
     "run_snapshot",
     "sync_component_totals",
     "validate",
-    "write_trace_jsonl",
+    "write_chrome_trace",
+    "write_spans_jsonl",
 ]

@@ -43,6 +43,7 @@ __all__ = [
     "NullMetrics",
     "SLACK_BUCKETS_NS",
     "WAIT_BUCKETS_NS",
+    "class_counter",
 ]
 
 Number = Union[int, float]
@@ -339,6 +340,23 @@ class MetricsRegistry:
             name: self._instruments[name].to_dict()
             for name in sorted(self._instruments)
         }
+
+
+def class_counter(metrics, cache: Dict[str, Counter], tclass: str, name_format: str, *, unit: str = "packets") -> Counter:
+    """Get-or-mint the per-traffic-class counter for ``tclass``.
+
+    Per-class counter names embed the class (``{tclass}`` placeholder in
+    ``name_format``), so the name string -- and the registry lookup -- is
+    only built on a class's *first* event; afterwards the instrument
+    comes from ``cache`` with one dict probe.  This is the shared
+    first-miss mint pattern used by ``Host.accept`` (deadline misses per
+    class) and ``PacketTracer.finish`` (retained traces per class); call
+    sites keep it off the hot path behind their cached ``enabled`` flag.
+    """
+    counter = cache.get(tclass)
+    if counter is None:
+        counter = cache[tclass] = metrics.counter(name_format.format(tclass=tclass), unit=unit)
+    return counter
 
 
 def _validate_name(name: str) -> None:

@@ -3,7 +3,7 @@
 The container does not ship ``jsonschema``, and the metrics snapshot
 only needs a practical subset: ``type`` (including lists of types),
 ``properties`` / ``required`` / ``additionalProperties``, ``items``,
-``enum``, and ``minimum``.  :func:`validate` returns a list of
+``enum``, ``minimum``, and ``maximum``.  :func:`validate` returns a list of
 human-readable error strings (empty == valid), so CI and tests can show
 everything wrong at once instead of failing on the first mismatch.
 """
@@ -53,6 +53,11 @@ def validate(doc: Any, schema: dict, path: str = "$") -> List[str]:
     if minimum is not None and isinstance(doc, (int, float)) and not isinstance(doc, bool):
         if doc < minimum:
             errors.append(f"{path}: {doc} < minimum {minimum}")
+
+    maximum = schema.get("maximum")
+    if maximum is not None and isinstance(doc, (int, float)) and not isinstance(doc, bool):
+        if doc > maximum:
+            errors.append(f"{path}: {doc} > maximum {maximum}")
 
     if isinstance(doc, dict):
         properties = schema.get("properties", {})

@@ -1,16 +1,22 @@
 """Structured export of a run's observability state.
 
-One document shape (``schema_version`` 1, schema checked in at
+One document shape (``schema_version`` 2, schema checked in at
 ``docs/metrics_schema.json``)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "run": {...},                # free-form run descriptors (CLI args)
       "engine": {...},             # event-loop health numbers
       "metrics": {name: {...}},    # registry snapshot, name-sorted
       "timeseries": {...},         # heartbeat rows (when telemetry ran)
-      "trace": {...}               # trace-buffer summary (when traced)
+      "trace": {...},              # trace-buffer summary (when traced)
+      "spans": {...}               # span-tracer ledger (when span-traced)
     }
+
+Version 2 added the optional ``spans`` section (the
+:meth:`repro.obs.tracing.PacketTracer.snapshot` sampling/retention
+ledger); version-1 documents remain valid -- the section is optional and
+the schema accepts both versions.
 
 Everything is plain JSON with sorted keys, so two snapshots of identical
 runs are byte-identical -- which is what makes ``repro-qos metrics A B``
@@ -32,7 +38,7 @@ __all__ = [
     "write_trace_jsonl",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def run_snapshot(
@@ -41,6 +47,7 @@ def run_snapshot(
     engine=None,
     telemetry=None,
     trace=None,
+    tracer=None,
     run_info: Optional[dict] = None,
 ) -> dict:
     """Assemble the stable JSON document for one run."""
@@ -63,6 +70,8 @@ def run_snapshot(
         doc["run"].setdefault("telemetry_ticks", telemetry.ticks)
     if trace is not None and getattr(trace, "enabled", False):
         doc["trace"] = trace.snapshot()
+    if tracer is not None and getattr(tracer, "enabled", False):
+        doc["spans"] = tracer.snapshot()
     return doc
 
 
@@ -150,6 +159,13 @@ def format_snapshot(doc: dict) -> str:
         lines.append(
             f"trace: {trace.get('retained', 0)} retained, "
             f"{trace.get('dropped', 0)} dropped ({trace.get('policy')})"
+        )
+    spans = doc.get("spans")
+    if spans:
+        lines.append(
+            f"spans: {spans.get('sampled', 0)} sampled, "
+            f"{spans.get('retained', 0)} retained, "
+            f"{spans.get('dropped', 0)} dropped ({spans.get('policy')})"
         )
     return "\n".join(lines)
 

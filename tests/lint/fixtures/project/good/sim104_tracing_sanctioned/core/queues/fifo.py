@@ -1,0 +1,9 @@
+"""Hot-path module calling the sanctioned obs/ span-trace recorder."""
+
+from tracing import record_span
+
+
+def pop(queue):
+    item = queue[0]
+    record_span(item)
+    return item

@@ -30,6 +30,7 @@ FIXTURE_MATRIX = [
     ("SIM104", "sim104_logging_hot_path", "sim104_pure_hot_path"),
     ("SIM104", "sim104_obs_impostor", "sim104_obs_sanctioned"),
     ("SIM104", "sim104_exec_impostor", "sim104_exec_sanctioned"),
+    ("SIM104", "sim104_tracing_impostor", "sim104_tracing_sanctioned"),
 ]
 
 

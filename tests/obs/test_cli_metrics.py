@@ -5,6 +5,7 @@ import json
 from pathlib import Path
 
 from repro.cli import main
+from repro.obs.snapshot import SCHEMA_VERSION
 
 FAST = ["--topology", "tiny", "--warmup-us", "50", "--measure-us", "120"]
 SCHEMA = str(Path(__file__).resolve().parents[2] / "docs" / "metrics_schema.json")
@@ -36,7 +37,7 @@ class TestRunExport:
         out = _run_with_snapshot(tmp_path)
         capsys.readouterr()
         doc = json.loads(out.read_text(encoding="utf-8"))
-        assert doc["schema_version"] == 1
+        assert doc["schema_version"] == SCHEMA_VERSION
         assert doc["engine"]["events_executed"] > 0
         assert doc["run"]["architecture"] == "advanced-2vc"
         assert len(doc["timeseries"]["samples"]) > 0

@@ -129,6 +129,82 @@ class TestFormatting:
         assert format_diff(diff) == "snapshots are identical"
 
 
+def _traced_registry(misses=2):
+    """A registry plus a tracer that retained ``misses`` miss traces,
+    with the per-class retained counters minted into the registry."""
+    from repro.obs.tracing import PacketTracer
+    from tests.helpers import mkpkt
+
+    class _Link:
+        def occupancy_ns(self, size_bytes):
+            return size_bytes
+
+    reg = _registry()
+    tracer = PacketTracer(policy="tail", capacity=8, seed=3, metrics=reg)
+    for _ in range(misses):
+        pkt = mkpkt(5, size=10, tclass="video")
+        tracer.begin(pkt, 0, "h0")
+        tracer.event(pkt, "inject", 1)
+        tracer.finish(pkt, 100, node="h1", link=_Link(), slack_ns=-95)
+    return reg, tracer
+
+
+class TestSpansSection:
+    """Schema v2: the optional ``spans`` block from a PacketTracer."""
+
+    def test_present_only_when_tracing(self):
+        reg, tracer = _traced_registry()
+        doc = run_snapshot(reg, tracer=tracer)
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["spans"] == tracer.snapshot()
+        assert doc["spans"]["retained"] == 2
+        assert "spans" not in run_snapshot(_registry())
+        # a disabled tracer contributes nothing either
+        from repro.obs.tracing import NULL_TRACER
+
+        assert "spans" not in run_snapshot(_registry(), tracer=NULL_TRACER)
+
+    def test_roundtrip_preserves_spans(self, tmp_path):
+        reg, tracer = _traced_registry()
+        doc = run_snapshot(reg, tracer=tracer, run_info={"seed": 3})
+        path = tmp_path / "snap.json"
+        with open(path, "w", encoding="utf-8") as fp:
+            dump_snapshot(doc, fp)
+        assert load_snapshot(str(path))["spans"] == tracer.snapshot()
+
+    def test_format_snapshot_spans_line(self):
+        reg, tracer = _traced_registry()
+        text = format_snapshot(run_snapshot(reg, tracer=tracer))
+        assert "spans: 2 sampled, 2 retained, 0 dropped (tail-deadline-miss)" in text
+
+    def test_diff_sees_tracer_minted_counters(self):
+        reg_a, tracer_a = _traced_registry(misses=1)
+        reg_b, tracer_b = _traced_registry(misses=3)
+        diff = diff_snapshots(
+            run_snapshot(reg_a, tracer=tracer_a),
+            run_snapshot(reg_b, tracer=tracer_b),
+        )
+        change = diff["changed"]["obs.tracing.class.video.retained_total"]
+        assert change["delta"] == 2
+
+    def test_spans_block_is_schema_valid(self):
+        schema = json.loads(_SCHEMA_PATH.read_text(encoding="utf-8"))
+        reg, tracer = _traced_registry()
+        doc = json.loads(json.dumps(run_snapshot(reg, tracer=tracer)))
+        assert validate(doc, schema) == []
+
+    def test_schema_catches_spans_corruption(self):
+        schema = json.loads(_SCHEMA_PATH.read_text(encoding="utf-8"))
+        reg, tracer = _traced_registry()
+        doc = json.loads(json.dumps(run_snapshot(reg, tracer=tracer)))
+        doc["spans"]["policy"] = "coin-flip"
+        doc["spans"]["dropped"] = -1
+        doc["spans"]["rate"] = 2.0
+        doc["spans"]["bogus"] = True
+        errors = validate(doc, schema)
+        assert len(errors) == 4
+
+
 class TestSchemaValidator:
     def test_type_checks(self):
         assert validate(3, {"type": "integer"}) == []
