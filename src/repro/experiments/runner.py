@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.core.architectures import ARCHITECTURES
 from repro.experiments.config import ExperimentConfig
@@ -131,6 +131,7 @@ def run_experiment(
     tracer=None,
     heartbeat_ns: Optional[int] = None,
     live_progress: bool = False,
+    engine_factory: Optional[Callable[[], object]] = None,
 ) -> RunResult:
     """Run one configuration to completion and gather metrics.
 
@@ -143,6 +144,10 @@ def run_experiment(
     simulated-time interval (``live_progress`` additionally prints a
     stderr status line).  None of these change simulation results --
     telemetry only observes (the determinism tests assert as much).
+
+    ``engine_factory`` swaps the event kernel (the differential harness
+    passes the reference :class:`repro.sim.heap_engine.HeapEngine`);
+    results must be byte-identical for any conforming engine.
     """
     topology = make_topology(config.topology)
     architecture = ARCHITECTURES[config.architecture]
@@ -152,7 +157,14 @@ def run_experiment(
         fabric_kwargs["trace"] = trace
     if tracer is not None:
         fabric_kwargs["tracer"] = tracer
-    fabric = Fabric(topology, architecture, config.params, **fabric_kwargs)
+    if engine_factory is not None:
+        fabric_kwargs["engine"] = engine_factory()
+    # Every in-repo delivery observer copies scalars out of the packet,
+    # so delivered-packet storage can be recycled; uids stay fresh per
+    # logical packet, keeping results byte-identical with pooling off.
+    fabric = Fabric(
+        topology, architecture, config.params, packet_pooling=True, **fabric_kwargs
+    )
     streams = RandomStreams(config.seed)
     mix = build_mix(fabric, streams, config.mix_config)
     if collector is None:

@@ -38,7 +38,9 @@ __all__ = ["SummaryCache", "hash_source", "rules_digest"]
 #: 4: SIM4xx temporal fields (schedule calls, float compares and
 #: time-target assigns, deadline sort keys, loop captures, ns true
 #: divisions).
-CACHE_SCHEMA_VERSION = 4
+#: 5: schedule-call records gained ``in_loop`` and ``fresh_args``
+#: (SIM307) and ``at_cancellable``/``after_cancellable`` sinks.
+CACHE_SCHEMA_VERSION = 5
 
 #: File name used inside the cache directory.
 CACHE_FILE_NAME = "projectmodel.json"

@@ -329,10 +329,14 @@ class FunctionFact:
     #: ``raise`` (SIM306): f-strings, ``%`` on a string literal,
     #: ``"...".format(...)``, ``repr(...)``.
     str_builds: List[Tuple[int, int, str]] = field(default_factory=list)
-    #: One record per ``<engine>.at``/``.after`` call (SIM401/SIM402):
-    #: ``{"line", "col", "attr", "receiver", "ttype", "quantity",
-    #: "ns_divs", "arg_src", "proof"}`` -- ``ttype`` on the temporal
-    #: lattice, ``proof`` in {"anchored", "subtraction", "unknown"}.
+    #: One record per ``<engine>.at``/``.after`` call (SIM401/SIM402,
+    #: SIM307): ``{"line", "col", "attr", "receiver", "ttype",
+    #: "quantity", "ns_divs", "arg_src", "in_loop", "fresh_args",
+    #: "proof"}`` -- ``ttype`` on the temporal lattice, ``proof`` in
+    #: {"anchored", "subtraction", "unknown"}, ``in_loop`` true when the
+    #: call sits inside a loop body, ``fresh_args`` one
+    #: ``{"line", "col", "detail", "src"}`` per container display among
+    #: the callback arguments.
     schedule_calls: List[Dict[str, Any]] = field(default_factory=list)
     #: One record per float-derived comparison on an ns/rate quantity
     #: (SIM403): ``{"line", "col", "quantity", "ops", "detail"}``.
@@ -1237,10 +1241,24 @@ class FunctionAnalyzer:
                 return [lineno, index, lineno, index + 1]
         return None
 
+    #: Fresh-per-call container displays among callback args (SIM307).
+    _FRESH_ARG_KINDS = (
+        (ast.Tuple, "a tuple literal"),
+        (ast.List, "a list literal"),
+        (ast.Dict, "a dict literal"),
+        (ast.Set, "a set literal"),
+        (ast.ListComp, "a list comprehension"),
+        (ast.SetComp, "a set comprehension"),
+        (ast.DictComp, "a dict comprehension"),
+        (ast.GeneratorExp, "a generator expression"),
+    )
+
     def _check_schedule_call(self, node: ast.Call, raw: str, attr: str) -> None:
         """Record ``<engine>.at``/``.after`` sites: the time argument's
         lattice type, its ``>= now`` proof, any exact-ns true divisions
-        inside it, and loop-captured closures among the callback args."""
+        inside it, whether the site sits inside a loop, fresh container
+        displays among the callback args (SIM307), and loop-captured
+        closures among the callback args."""
         if self.fact is None:
             return
         sink = SCHEDULE_SINKS.get(attr)
@@ -1255,6 +1273,19 @@ class FunctionAnalyzer:
         info = self.typer.info(time_arg)
         divs = self._ns_div_records(time_arg, f"`{raw}(...)` time argument")
         self.fact.ns_true_divs.extend(divs)
+        fresh_args = []
+        for arg in node.args[sink + 1 :]:
+            for kind, detail in self._FRESH_ARG_KINDS:
+                if isinstance(arg, kind):
+                    fresh_args.append(
+                        {
+                            "line": arg.lineno,
+                            "col": arg.col_offset,
+                            "detail": detail,
+                            "src": self._src(arg),
+                        }
+                    )
+                    break
         self.fact.schedule_calls.append(
             {
                 "line": node.lineno,
@@ -1265,9 +1296,11 @@ class FunctionAnalyzer:
                 "quantity": info.quantity,
                 "ns_divs": len(divs),
                 "arg_src": self._src(time_arg),
+                "in_loop": bool(self._loop_stack),
+                "fresh_args": fresh_args,
                 "proof": (
                     now_proof(time_arg, self.time_proofs)
-                    if attr == "at"
+                    if attr in ("at", "at_cancellable")
                     else ANCHORED
                 ),
             }

@@ -46,6 +46,9 @@ SIM305    hot-exception-flow           try/except KeyError etc. as
                                        control flow inside hot loops
 SIM306    hot-eager-str                f-string/%%/.format/repr on the
                                        hot path outside obs and raises
+SIM307    hot-unpooled-event           fresh container displays handed
+                                       to ``at``/``after`` inside hot
+                                       loops (one allocation per event)
 SIM401    schedule-in-past             ``engine.at(t)`` where ``t`` is
                                        derived by subtraction with no
                                        ``max(now, ...)`` clamp
@@ -1263,6 +1266,64 @@ class HotEagerStringRule(ProjectRule):
                     "an error path, the obs layer, or format lazily",
                     (summary.path, root_path),
                 )
+
+
+@register_project_rule
+class HotUnpooledEventRule(ProjectRule):
+    id = "SIM307"
+    name = "hot-unpooled-event"
+    description = (
+        "container displays (tuple/list/dict/set literals and "
+        "comprehensions) passed as callback arguments to "
+        "`engine.at`/`engine.after` inside hot loops allocate a fresh "
+        "object per scheduled event"
+    )
+    rationale = (
+        "The engine pools its event records precisely so that "
+        "scheduling costs no allocation on the steady state -- but the "
+        "pool cannot absorb argument containers the *caller* builds.  "
+        "An `engine.after(d, cb, (src, dst))` inside a per-packet loop "
+        "mints one tuple per event: at millions of events per run the "
+        "caller re-introduces the allocator round-trip the pooled "
+        "kernel just removed.  Pass scalars positionally (the varargs "
+        "tuple is interned into the pooled event record), pre-build "
+        "the container once outside the loop, or pre-bind the handler. "
+        "Sites where the container genuinely varies per event get a "
+        "justified `# simlint: allow-hot-unpooled-event` pragma."
+    )
+    example_bad = (
+        "# core/queues/hot.py\n"
+        "def flush(self, batch):\n"
+        "    for pkt in batch:\n"
+        "        self.engine.after(self.delay, self._emit,\n"
+        "                          (pkt.src, pkt.dst))  # tuple per event\n"
+    )
+    example_good = (
+        "# core/queues/hot.py\n"
+        "def flush(self, batch):\n"
+        "    after = self.engine.after\n"
+        "    for pkt in batch:\n"
+        "        after(self.delay, self._emit, pkt.src, pkt.dst)\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        for node, summary, fact, root_path in _hot_function_facts(model, graph):
+            for rec in fact.schedule_calls:
+                if not rec.get("in_loop"):
+                    continue
+                for arg in rec.get("fresh_args", ()):
+                    yield self._violation(
+                        summary.path,
+                        int(arg["line"]),
+                        int(arg["col"]),
+                        f"unpooled event argument in hot-path "
+                        f"`{node[1]}`: {arg['detail']} is built for "
+                        f"every `{rec['attr']}` call in the loop; pass "
+                        "scalars positionally, hoist the container, or "
+                        "pre-bind the handler",
+                        (summary.path, root_path),
+                    )
+
 
 # ----------------------------------------------------------------------
 # SIM401-SIM406: temporal soundness (deadline arithmetic, monotonicity,

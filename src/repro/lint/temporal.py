@@ -85,7 +85,12 @@ SUBTRACTION = "subtraction"  # derived by subtraction with no clamp
 UNPROVEN = "unknown"  # no evidence either way -- never flagged
 
 #: Engine scheduling sinks: attribute name -> index of the time argument.
-SCHEDULE_SINKS: Dict[str, int] = {"at": 0, "after": 0}
+SCHEDULE_SINKS: Dict[str, int] = {
+    "at": 0,
+    "after": 0,
+    "at_cancellable": 0,
+    "after_cancellable": 0,
+}
 
 #: Dimensions (from the SIM101 naming lattice) that are integer
 #: quantities by library convention -> ``exact`` presumption.

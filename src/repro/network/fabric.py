@@ -30,7 +30,7 @@ from repro.core.invariants import invariant
 from repro.core.ttd import ClockDomain
 from repro.network.host import Host
 from repro.network.link import Link
-from repro.network.packet import Packet, VC_BEST_EFFORT, VC_REGULATED
+from repro.network.packet import Packet, PacketFactory, VC_BEST_EFFORT, VC_REGULATED
 from repro.network.routing import RoutingTable
 from repro.network.topology import Topology, paper_topology
 from repro.obs.metrics import NULL_METRICS
@@ -114,11 +114,18 @@ class Fabric:
         trace=_NULL_TRACE,
         metrics=NULL_METRICS,
         tracer=NULL_TRACER,
+        packet_pooling: bool = False,
     ):
         self.topology = topology
         self.architecture = architecture
         self.params = params
         self.engine = engine or Engine()
+        #: Fabric-wide uid minting (+ optional free-list pooling): one
+        #: factory shared by every host keeps uids unique fabric-wide and
+        #: deterministic per run.  Pooling is opt-in because delivery
+        #: subscribers outside this repo may retain Packet objects; see
+        #: PacketFactory.recycle for the lifecycle contract.
+        self.packet_factory = PacketFactory(pooling=packet_pooling)
         self.trace = trace
         self.metrics = metrics
         self.tracer = tracer
@@ -159,6 +166,7 @@ class Fabric:
                 n_vcs=params.n_vcs,
                 metrics=metrics,
                 tracer=tracer,
+                packet_factory=self.packet_factory,
             )
             for index, node_id in enumerate(topology.host_ids)
         ]

@@ -29,7 +29,7 @@ from repro.core.eligible import EligiblePolicy
 from repro.core.flow import FlowKind, FlowState
 from repro.core.queues import EDFHeapQueue, FifoQueue, PacketQueue
 from repro.network.link import Link
-from repro.network.packet import N_VCS, Packet, VC_REGULATED
+from repro.network.packet import N_VCS, Packet, PacketFactory, VC_REGULATED
 from repro.obs.metrics import NULL_METRICS, SLACK_BUCKETS_NS, Counter, class_counter
 from repro.obs.tracing import NULL_TRACER
 from repro.sim.engine import Engine, EventHandle
@@ -60,6 +60,8 @@ class Host:
         "_pending",
         "_ready",
         "_wake",
+        "_release_cb",
+        "_packets",
         "packets_submitted",
         "bytes_submitted",
         "packets_injected",
@@ -91,6 +93,7 @@ class Host:
         n_vcs: int = N_VCS,
         metrics=NULL_METRICS,
         tracer=NULL_TRACER,
+        packet_factory: Optional[PacketFactory] = None,
     ):
         if mtu <= 0:
             raise ValueError(f"MTU must be positive, got {mtu}")
@@ -114,6 +117,12 @@ class Host:
         #: per-VC injection queues, deadline-sorted for the EDF architectures
         self._ready: List[PacketQueue] = [queue_cls(None) for _ in range(n_vcs)]
         self._wake: Optional[EventHandle] = None
+        # Pre-bound wake callback (SIM303 pattern by hand): binding once
+        # here keeps the re-arm path free of per-call method binds.
+        self._release_cb = self._release_eligible
+        # Fabric-shared uid minting (and optional pooling); a private
+        # factory keeps standalone hosts working in tests.
+        self._packets = packet_factory if packet_factory is not None else PacketFactory()
         self.packets_submitted = 0
         self.bytes_submitted = 0
         self.packets_injected = 0
@@ -206,7 +215,7 @@ class Host:
             )
             # The allocation IS the workload here: submit_message exists to
             # mint the packets being injected, one per message part.
-            pkt = Packet(  # simlint: allow-hot-loop-allocation
+            pkt = self._packets.mint(  # simlint: allow-hot-loop-allocation
                 flow_id=spec.flow_id,
                 seq=flow.take_seq(),
                 src=spec.src,
@@ -253,7 +262,7 @@ class Host:
             if self._wake.time <= head_time:
                 return
             self._wake.cancel()
-        self._wake = self.engine.at(head_time, self._release_eligible)
+        self._wake = self.engine.at_cancellable(head_time, self._release_cb)
 
     def _release_eligible(self) -> None:
         now = self.engine.now + self.clock_offset  # local clock
@@ -338,6 +347,10 @@ class Host:
                 self.tracer.finish(pkt, now, node=self.node_id, link=link, slack_ns=slack_ns)
         if self.on_delivery is not None:
             self.on_delivery(pkt, now)
+        # Last touch: every observer above has run, no queue holds the
+        # packet -- its storage may be recycled (no-op unless the fabric
+        # opted into pooling).
+        self._packets.recycle(pkt)
 
     # ------------------------------------------------------------------
     # introspection

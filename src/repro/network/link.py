@@ -103,6 +103,10 @@ class Link:
         "busy",
         "sender",
         "receiver",
+        "_after",
+        "_tx_done_cb",
+        "_deliver_cb",
+        "_credit_cb",
         "packets_carried",
         "bytes_carried",
         "busy_ns",
@@ -134,6 +138,17 @@ class Link:
         self.busy = False
         self.sender: Optional[Sender] = None
         self.receiver: Optional[Receiver] = None
+        # Pre-bound scheduling and callback handles (the SIM303 pattern
+        # applied by hand): `engine.after` plus each hot callback is
+        # bound once here, so the per-packet path pays one attribute
+        # load per site instead of a descriptor bind per event.
+        # `sender.pull` / `receiver.accept` are deliberately NOT
+        # pre-bound: those objects belong to the caller, and tests
+        # monkeypatch their methods after attachment.
+        self._after = engine.after
+        self._tx_done_cb = self._tx_done
+        self._deliver_cb = self._deliver
+        self._credit_cb = self._credit_arrived
         self.packets_carried = 0
         self.bytes_carried = 0
         #: Total simulated time spent clocking bytes out; utilization over
@@ -170,18 +185,24 @@ class Link:
         self.busy = True
         tx_ns = self.occupancy_ns(pkt.size)
         self.busy_ns += tx_ns
-        self.engine.after(tx_ns, self._tx_done, pkt)
+        self._after(tx_ns, self._tx_done_cb, pkt)
 
     def _tx_done(self, pkt: Packet) -> None:
         self.busy = False
         self.packets_carried += 1
         self.bytes_carried += pkt.size
         if self.prop_delay_ns:
-            self.engine.after(self.prop_delay_ns, self._deliver, pkt)
+            self._after(self.prop_delay_ns, self._deliver_cb, pkt)
         else:
+            # Zero-propagation fold: transmit + propagate collapse into
+            # this single wakeup -- one engine event per packet hop.  (A
+            # nonzero propagation delay needs the second event: freeing
+            # the channel at tx-done is load-bearing for pipelining and
+            # cannot wait until the packet lands.)
             self._deliver(pkt)
-        if self.sender is not None:
-            self.sender.pull(self)
+        sender = self.sender
+        if sender is not None:
+            sender.pull(self)
 
     def _deliver(self, pkt: Packet) -> None:
         invariant(self.receiver is not None, "link %s has no receiver", self.link_id)
@@ -200,12 +221,13 @@ class Link:
         The credit travels back over the wire, so the sender sees it a
         propagation delay later.
         """
-        self.engine.after(self.prop_delay_ns, self._credit_arrived, vc, size)
+        self._after(self.prop_delay_ns, self._credit_cb, vc, size)
 
     def _credit_arrived(self, vc: int, size: int) -> None:
         self.channel.replenish(vc, size)
-        if self.sender is not None and not self.busy:
-            self.sender.pull(self)
+        sender = self.sender
+        if sender is not None and not self.busy:
+            sender.pull(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Link {self.src}:{self.src_port}->{self.dst}:{self.dst_port}>"

@@ -21,8 +21,13 @@ from typing import Optional, Tuple
 
 from repro.constants import N_VCS, VC_BEST_EFFORT, VC_REGULATED
 
-__all__ = ["Packet", "VC_REGULATED", "VC_BEST_EFFORT", "N_VCS"]
+__all__ = ["Packet", "PacketFactory", "VC_REGULATED", "VC_BEST_EFFORT", "N_VCS"]
 
+# Fallback uid counter for *bare* ``Packet(...)`` construction (unit
+# tests, ad-hoc scripts).  Production paths mint through a per-fabric
+# :class:`PacketFactory`, so run N and run N+1 in the same process see
+# identical uid streams -- this module global is deliberately NOT part
+# of any simulation result.
 _next_uid = 0
 
 
@@ -93,12 +98,13 @@ class Packet:
         msg_seq: int = 0,
         msg_parts: int = 1,
         birth: int = 0,
+        uid: Optional[int] = None,
     ):
         if size <= 0:
             raise ValueError(f"packet size must be positive, got {size}")
         if vc < 0:
             raise ValueError(f"vc must be a non-negative channel index, got {vc}")
-        self.uid = _take_uid()
+        self.uid = _take_uid() if uid is None else uid
         self.flow_id = flow_id
         self.seq = seq
         self.src = src
@@ -136,3 +142,60 @@ class Packet:
             f"<Packet f{self.flow_id}#{self.seq} {self.src}->{self.dst} "
             f"{self.size}B vc{self.vc} D={self.deadline}>"
         )
+
+
+class PacketFactory:
+    """Per-fabric packet minting: deterministic uids plus optional pooling.
+
+    One factory is shared by every host of a fabric, so uids are unique
+    fabric-wide and -- unlike the module-global fallback counter -- reset
+    with the fabric: two back-to-back runs in one process produce
+    identical uid streams (the uid-determinism regression test pins
+    this).
+
+    With ``pooling`` enabled, :meth:`recycle` keeps delivered packets on
+    a free list and :meth:`mint` re-initializes one instead of
+    allocating.  Lifecycle rules (ARCHITECTURE.md section 10): a packet
+    may be recycled only once it has left every queue and every
+    observer; uids are minted fresh per *logical* packet either way, so
+    tracing and statistics are byte-identical with pooling on or off.
+    """
+
+    __slots__ = ("pooling", "_next_uid", "_pool")
+
+    def __init__(self, *, pooling: bool = False):
+        self.pooling = pooling
+        self._next_uid = 0
+        self._pool: list[Packet] = []
+
+    @property
+    def uids_minted(self) -> int:
+        return self._next_uid
+
+    @property
+    def pooled(self) -> int:
+        return len(self._pool)
+
+    def mint(self, **fields) -> Packet:
+        """A fresh logical packet: pooled storage, never a pooled uid."""
+        self._next_uid += 1
+        pool = self._pool
+        if pool:
+            pkt = pool.pop()
+            # Re-running __init__ resets every slot (hop, inject, deliver,
+            # hop_arrival, traced, ...) -- a recycled packet is
+            # indistinguishable from a newly allocated one.
+            pkt.__init__(uid=self._next_uid, **fields)
+            return pkt
+        return Packet(uid=self._next_uid, **fields)
+
+    def recycle(self, pkt: Packet) -> None:
+        """Return a delivered packet's storage to the free list.
+
+        Callers must guarantee no live reference remains (host ``accept``
+        calls this after the last observer hook).  No-op unless pooling
+        was requested, so default-configured fabrics keep plain GC
+        semantics.
+        """
+        if self.pooling:
+            self._pool.append(pkt)

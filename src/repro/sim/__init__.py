@@ -8,8 +8,10 @@ reproduced figure.
 
 Public surface:
 
-- :class:`~repro.sim.engine.Engine` -- the event loop.
+- :class:`~repro.sim.engine.Engine` -- the event loop (timing wheel).
 - :class:`~repro.sim.engine.EventHandle` -- cancellable scheduled callback.
+- :class:`~repro.sim.heap_engine.HeapEngine` -- the binary-heap reference
+  engine kept for differential testing against the wheel.
 - :class:`~repro.sim.process.Process` / :func:`~repro.sim.process.process`
   -- optional coroutine-style processes layered on top of the engine.
 - :class:`~repro.sim.rng.RandomStreams` -- named, reproducible RNG streams.
@@ -18,6 +20,7 @@ Public surface:
 """
 
 from repro.sim.engine import Engine, EventHandle, SimulationError
+from repro.sim.heap_engine import HeapEngine
 from repro.sim.monitor import NullTrace, Trace, TraceRecord
 from repro.sim.process import Delay, Process, Signal, process
 from repro.sim.rng import RandomStreams, derive_seed
@@ -27,6 +30,7 @@ __all__ = [
     "Delay",
     "Engine",
     "EventHandle",
+    "HeapEngine",
     "NullTrace",
     "Process",
     "RandomStreams",

@@ -64,6 +64,39 @@ class TestDeterminism:
         assert sa.packets == sb.packets
         assert sa.packet_latency.mean == sb.packet_latency.mean
 
+    def test_back_to_back_runs_mint_identical_uids(self):
+        # Regression: uid minting lives on the per-fabric PacketFactory,
+        # so a second run in the same process replays the exact uid
+        # stream (the old module-global counter kept counting across
+        # runs, which broke uid-keyed trace comparison and would have
+        # made pooled-packet reuse nondeterministic).
+        def run_once():
+            uids = []
+            config = quick_config(measure_ns=120 * units.US)
+            from repro.core.architectures import ARCHITECTURES
+            from repro.experiments.presets import make_topology
+            from repro.network.fabric import Fabric
+            from repro.sim.rng import RandomStreams
+            from repro.traffic.mix import build_mix
+
+            fabric = Fabric(
+                make_topology(config.topology),
+                ARCHITECTURES[config.architecture],
+                config.params,
+                packet_pooling=True,
+            )
+            fabric.subscribe_delivery(lambda pkt, now: uids.append(pkt.uid))
+            mix = build_mix(fabric, RandomStreams(config.seed), config.mix_config)
+            mix.start()
+            fabric.run(until=config.end_ns)
+            mix.stop()
+            return uids
+
+        first = run_once()
+        second = run_once()
+        assert first, "run delivered no packets; config too short"
+        assert first == second
+
     def test_different_seed_different_results(self):
         a = run_experiment(quick_config(measure_ns=150 * units.US, seed=1))
         b = run_experiment(quick_config(measure_ns=150 * units.US, seed=2))

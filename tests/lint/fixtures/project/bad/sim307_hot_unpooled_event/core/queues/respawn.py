@@ -1,0 +1,6 @@
+"""Hot-path module: hands the scheduler a fresh tuple per event."""
+
+
+def respawn(engine, handler, batch, delay):
+    for item in batch:
+        engine.after(delay, handler, (item.src, item.dst))

@@ -1,0 +1,6 @@
+"""Hot-path module: scalars ride the pooled event record directly."""
+
+
+def respawn(engine, handler, batch, delay):
+    for item in batch:
+        engine.after(delay, handler, item.src, item.dst)

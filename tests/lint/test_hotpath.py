@@ -1,4 +1,4 @@
-"""Tests for the hot-path performance layer (SIM301-SIM306).
+"""Tests for the hot-path performance layer (SIM301-SIM307).
 
 Covers the fixture matrix (each bad fixture flags exactly its rule,
 each good fixture is clean), the SIM302/303/304 machine fixes and their
@@ -35,6 +35,7 @@ FIXTURE_MATRIX = [
     ("SIM304", "sim304_global_lookup", "sim304_global_aliased"),
     ("SIM305", "sim305_exception_flow", "sim305_dict_get"),
     ("SIM306", "sim306_eager_str", "sim306_lazy_str"),
+    ("SIM307", "sim307_hot_unpooled_event", "sim307_pooled_event"),
 ]
 
 FIXABLE = [

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.network.packet import Packet, VC_BEST_EFFORT, VC_REGULATED
+from repro.network.packet import Packet, PacketFactory, VC_BEST_EFFORT, VC_REGULATED
 from tests.helpers import mkpkt
 
 
@@ -30,6 +30,54 @@ class TestConstruction:
         assert pkt.inject is None
         assert pkt.deliver is None
         assert pkt.msg_parts == 1
+
+
+def _mint(factory, **overrides):
+    fields = dict(
+        flow_id=1, seq=0, tclass="control", vc=0, src=0, dst=1,
+        size=64, deadline=100, path=(0,),
+    )
+    fields.update(overrides)
+    return factory.mint(**fields)
+
+
+class TestPacketFactory:
+    def test_uids_start_at_one_per_factory(self):
+        # Per-factory minting is what makes uid streams reproducible:
+        # the old module-global counter leaked across runs in a process.
+        a = PacketFactory()
+        b = PacketFactory()
+        assert [_mint(a).uid, _mint(a).uid] == [1, 2]
+        assert _mint(b).uid == 1
+
+    def test_pooled_instance_is_reinitialized(self):
+        factory = PacketFactory(pooling=True)
+        first = _mint(factory, size=64, deadline=10)
+        first.hop = 3
+        factory.recycle(first)
+        second = _mint(factory, size=128, deadline=20)
+        assert second is first  # storage reused ...
+        assert second.uid == 2  # ... identity is not
+        assert second.size == 128
+        assert second.deadline == 20
+        assert second.hop == 0
+
+    def test_pooling_off_never_retains(self):
+        factory = PacketFactory()
+        pkt = _mint(factory)
+        factory.recycle(pkt)
+        assert factory.pooled == 0
+        assert _mint(factory) is not pkt
+
+    def test_explicit_uid_bypasses_global_counter(self):
+        pkt = mkpkt(1)
+        explicit = Packet(
+            uid=99, flow_id=1, seq=0, tclass="control", vc=0, src=0, dst=1,
+            size=64, deadline=100, path=(0,),
+        )
+        assert explicit.uid == 99
+        # The module-global fallback stream is untouched by explicit uids.
+        assert mkpkt(1).uid == pkt.uid + 1
 
 
 class TestSourceRouting:

@@ -45,7 +45,7 @@ class TestRunSnapshot:
     def test_engine_block(self):
         eng = Engine()
         eng.at(5, lambda: None)
-        handle = eng.at(6, lambda: None)
+        handle = eng.at_cancellable(6, lambda: None)
         handle.cancel()
         eng.run(until=10)
         doc = run_snapshot(_registry(), engine=eng)

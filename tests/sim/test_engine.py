@@ -1,8 +1,20 @@
-"""Unit tests for the event kernel."""
+"""Unit tests for the event kernel.
+
+The timing-wheel engine has three internal regimes -- hot slot (single
+pending event), wheel buckets (within the horizon), and the overflow
+heap (beyond it) -- plus transitions between them at every clock
+advancement.  The classes below cover the public contract; the
+``TestWheelRegimes`` class drives every regime boundary explicitly.
+Byte-for-bit equivalence with the reference heap engine is proven
+separately in ``test_engine_differential.py``.
+"""
 
 import pytest
 
-from repro.sim.engine import Engine, SimulationError
+from repro.sim.engine import _DEFAULT_WHEEL_SLOTS, Engine, SimulationError
+
+#: A delay guaranteed to land beyond the wheel horizon (overflow heap).
+FAR = _DEFAULT_WHEEL_SLOTS * 3 + 7
 
 
 class TestScheduling:
@@ -39,7 +51,20 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             engine.at(50, lambda: None)
 
+    def test_scheduling_in_the_past_raises_with_pending_work(self, engine):
+        # Same check on the non-hot path: the engine already holds events.
+        engine.at(100, lambda: None)
+        engine.at(200, lambda: None)
+        engine.run(until=150)
+        with pytest.raises(SimulationError):
+            engine.at(140, lambda: None)
+
     def test_negative_delay_raises(self, engine):
+        with pytest.raises(SimulationError):
+            engine.after(-1, lambda: None)
+
+    def test_negative_delay_raises_with_pending_work(self, engine):
+        engine.after(10, lambda: None)
         with pytest.raises(SimulationError):
             engine.after(-1, lambda: None)
 
@@ -97,6 +122,17 @@ class TestRunWindow:
         assert executed == 3
         assert seen == [0, 1, 2]
 
+    def test_max_events_resumes_mid_timestamp(self, engine):
+        # Five same-time events with the limit landing mid-bucket: the
+        # next run() must resume with the unconsumed tail, in order.
+        seen = []
+        for i in range(5):
+            engine.at(7, seen.append, i)
+        assert engine.run(max_events=2) == 2
+        assert seen == [0, 1]
+        assert engine.run_all() == 3
+        assert seen == [0, 1, 2, 3, 4]
+
     def test_stop_from_callback(self, engine):
         seen = []
         engine.at(1, seen.append, 1)
@@ -104,6 +140,16 @@ class TestRunWindow:
         engine.at(3, seen.append, 3)
         engine.run_all()
         assert seen == [1, 2]
+
+    def test_stop_mid_timestamp_resumes_in_order(self, engine):
+        seen = []
+        engine.at(2, seen.append, "a")
+        engine.at(2, lambda: (seen.append("stop"), engine.stop()))
+        engine.at(2, seen.append, "b")
+        engine.run_all()
+        assert seen == ["a", "stop"]
+        engine.run_all()
+        assert seen == ["a", "stop", "b"]
 
     def test_run_returns_executed_count(self, engine):
         for i in range(4):
@@ -121,35 +167,209 @@ class TestRunWindow:
 
 
 class TestCancellation:
+    def test_plain_schedule_returns_no_handle(self, engine):
+        # at/after are the allocation-free fast path: no handle.
+        assert engine.at(10, lambda: None) is None
+        assert engine.after(10, lambda: None) is None
+
     def test_cancelled_event_does_not_fire(self, engine):
         seen = []
-        handle = engine.at(10, seen.append, "no")
+        handle = engine.at_cancellable(10, seen.append, "no")
         handle.cancel()
         engine.run_all()
         assert seen == []
 
     def test_cancel_is_idempotent(self, engine):
-        handle = engine.at(10, lambda: None)
+        handle = engine.at_cancellable(10, lambda: None)
         handle.cancel()
         handle.cancel()
         engine.run_all()
 
     def test_cancel_one_of_many(self, engine):
         seen = []
-        keep = engine.at(10, seen.append, "keep")
-        drop = engine.at(10, seen.append, "drop")
+        engine.at_cancellable(10, seen.append, "keep")
+        drop = engine.at_cancellable(10, seen.append, "drop")
         drop.cancel()
         engine.run_all()
         assert seen == ["keep"]
 
+    def test_cancellable_after_is_relative(self, engine):
+        seen = []
+        engine.at(100, lambda: engine.after_cancellable(50, seen.append, "x"))
+        engine.run_all()
+        assert seen == ["x"]
+        assert engine.now == 150
+
+    def test_cancel_far_future_event(self, engine):
+        seen = []
+        handle = engine.at_cancellable(FAR, seen.append, "no")
+        engine.at(1, seen.append, "yes")
+        handle.cancel()
+        engine.run_all()
+        assert seen == ["yes"]
+        assert engine.tombstones_discarded >= 1
+
+    def test_cancelled_handles_are_pooled(self, engine):
+        first = engine.at_cancellable(10, lambda: None)
+        first.cancel()
+        second = engine.at_cancellable(20, lambda: None)
+        # The relinquished handle object is recycled for the next arm.
+        assert second is first
+        assert not second.cancelled
+        assert second.time == 20
+
     def test_peek_time_skips_cancelled(self, engine):
-        first = engine.at(5, lambda: None)
+        first = engine.at_cancellable(5, lambda: None)
         engine.at(10, lambda: None)
         first.cancel()
         assert engine.peek_time() == 10
 
-    def test_peek_time_empty_heap(self, engine):
+    def test_peek_time_empty_engine(self, engine):
         assert engine.peek_time() is None
+
+    def test_peek_time_sees_hot_slot(self, engine):
+        engine.after(37, lambda: None)
+        assert engine.peek_time() == 37
+
+    def test_peek_time_skips_cancelled_overflow(self, engine):
+        handle = engine.at_cancellable(FAR, lambda: None)
+        engine.at(FAR + 10, lambda: None)
+        handle.cancel()
+        assert engine.peek_time() == FAR + 10
+
+    def test_tombstone_counters(self, engine):
+        handle = engine.at_cancellable(5, lambda: None)
+        engine.at(5, lambda: None)
+        handle.cancel()
+        engine.run_all()
+        assert engine.tombstones_discarded == 1
+        assert engine.events_executed == 1
+        assert engine.tombstone_ratio == 0.5
+
+
+class TestWheelRegimes:
+    """Drive the hot-slot / wheel / overflow boundaries explicitly."""
+
+    def test_far_future_events_cross_the_horizon(self, engine):
+        order = []
+        engine.at(FAR, order.append, "far")
+        engine.at(3, order.append, "near")
+        engine.run_all()
+        assert order == ["near", "far"]
+        assert engine.now == FAR
+
+    def test_same_time_order_across_overflow_and_wheel(self, engine):
+        # Scheduled-first-fires-first must hold even when the earlier
+        # event takes the overflow route and the later one is appended
+        # directly to the bucket after the clock has advanced.
+        order = []
+        t = FAR
+
+        def near_rider():
+            engine.at(t, order.append, "direct")
+
+        engine.at(t, order.append, "overflow")  # beyond horizon now
+        engine.at(t - 5, near_rider)  # schedules "direct" once t is in-window
+        engine.run_all()
+        assert order == ["overflow", "direct"]
+
+    def test_overflow_entries_keep_schedule_order(self, engine):
+        order = []
+        for tag in ("a", "b", "c"):
+            engine.at(FAR, order.append, tag)
+        engine.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_parks_across_the_horizon(self, engine):
+        # Repeated run(until=...) windows each advance the clock; events
+        # far beyond every window must still fire exactly on time.
+        seen = []
+        engine.at(FAR, lambda: seen.append(engine.now))
+        for i in range(1, 10):
+            engine.run(until=i * 1000)
+        engine.run_all()
+        assert seen == [FAR]
+
+    def test_hot_slot_spills_in_order(self, engine):
+        # First event parks hot; the second (earlier!) forces a spill.
+        order = []
+        engine.at(50, order.append, "second")
+        engine.at(10, order.append, "first")
+        engine.run_all()
+        assert order == ["first", "second"]
+
+    def test_hot_slot_same_time_spill_keeps_schedule_order(self, engine):
+        order = []
+        engine.at(5, order.append, "first")
+        engine.at(5, order.append, "second")
+        engine.run_all()
+        assert order == ["first", "second"]
+
+    def test_hot_event_scheduled_mid_bucket_fires_after_bucket(self, engine):
+        # A zero-delay event scheduled from inside a bucket must fire
+        # after the bucket-mates that were scheduled before it.
+        order = []
+
+        def rider():
+            order.append("rider")
+            engine.after(0, order.append, "hot")
+
+        engine.at(4, rider)
+        engine.at(4, order.append, "mate")
+        engine.run_all()
+        assert order == ["rider", "mate", "hot"]
+
+    def test_limit_break_then_hot_respects_pushed_back_bucket(self, engine):
+        # Regression for the one hot/wheel coexistence case: a bucket
+        # pushed back by max_events plus a hot event armed mid-bucket.
+        order = []
+
+        def first():
+            order.append("first")
+            engine.after(0, order.append, "hot")
+
+        engine.at(2, first)
+        engine.at(2, order.append, "second")
+        engine.run(max_events=1)
+        engine.run_all()
+        assert order == ["first", "second", "hot"]
+
+    def test_pending_counts_all_regimes(self, engine):
+        engine.after(1, lambda: None)  # hot
+        assert engine.pending == 1
+        engine.after(2, lambda: None)  # forces spill -> wheel x2
+        assert engine.pending == 2
+        engine.after(FAR, lambda: None)  # overflow
+        assert engine.pending == 3
+        engine.run_all()
+        assert engine.pending == 0
+
+    def test_wheel_stats_shape(self, engine):
+        engine.after(1, lambda: None)
+        stats = engine.wheel_stats()
+        assert stats["hot_armed"] is True
+        assert stats["occupied_buckets"] == 0
+        engine.after(FAR, lambda: None)
+        stats = engine.wheel_stats()
+        assert stats["hot_armed"] is False
+        assert stats["occupied_buckets"] == 1
+        assert stats["overflow_pending"] == 1
+        engine.run_all()
+        assert engine.wheel_stats()["pending"] == 0
+
+    def test_small_wheel_still_correct(self):
+        # A 4-slot wheel pushes nearly everything through the overflow
+        # machinery -- worst case for the drain logic.
+        engine = Engine(wheel_slots=4)
+        order = []
+        for t in (17, 3, 9, 3, 64, 2, 33):
+            engine.at(t, order.append, t)
+        engine.run_all()
+        assert order == [2, 3, 3, 9, 17, 33, 64]
+
+    def test_wheel_slots_must_be_power_of_two(self):
+        with pytest.raises(SimulationError):
+            Engine(wheel_slots=1000)
 
 
 class TestConstruction:
