@@ -362,9 +362,19 @@ def build_parser() -> argparse.ArgumentParser:
         "run`); top-decile findings are flagged hot:, unmeasured ones "
         "demoted to notes and excluded from the exit gate",
     )
+    lint_p.add_argument(
+        "--memprofile",
+        default=None,
+        metavar="JSON",
+        help="with --project: rank SIM5xx findings by the bytes "
+        "measured in this tracemalloc dump (see `repro-qos profile "
+        "mem`); top-decile findings are flagged hot:, unmeasured ones "
+        "demoted to notes and excluded from the exit gate",
+    )
 
     prof_p = sub.add_parser(
-        "profile", help="produce the pstats dump `lint --profile` ranks by"
+        "profile",
+        help="produce the dumps `lint --profile`/`--memprofile` rank by",
     )
     prof_sub = prof_p.add_subparsers(dest="profile_command", required=True)
     prof_run_p = prof_sub.add_parser(
@@ -382,6 +392,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="pstats dump path (default: prof.pstats)",
     )
     common(prof_run_p)
+    prof_mem_p = prof_sub.add_parser(
+        "mem",
+        help="run one simulation under tracemalloc and dump per-site "
+        "allocations as JSON",
+    )
+    prof_mem_p.add_argument(
+        "--arch", default="advanced-2vc", choices=sorted(ARCHITECTURES)
+    )
+    prof_mem_p.add_argument("--load", type=float, default=1.0)
+    prof_mem_p.add_argument(
+        "--top",
+        type=int,
+        default=512,
+        metavar="N",
+        help="keep the N largest allocation sites (default: 512)",
+    )
+    prof_mem_p.add_argument(
+        "-o",
+        "--out",
+        default="mem.json",
+        metavar="FILE",
+        help="JSON dump path (default: mem.json)",
+    )
+    common(prof_mem_p)
     return parser
 
 
@@ -825,6 +859,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.memprofile and not args.project:
+        print(
+            "repro-qos lint: --memprofile requires --project "
+            "(the SIM5xx rules it ranks are project rules)",
+            file=sys.stderr,
+        )
+        return 2
 
     def run_lint():
         if args.project:
@@ -834,6 +875,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 select=select,
                 ignore=ignore,
                 profile=args.profile,
+                memprofile=args.memprofile,
             )
         return lint_paths(args.paths, select=select, ignore=ignore), None
 
@@ -889,6 +931,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             profile_stats = cache_stats.pop("profile", None)
             if profile_stats is not None:
                 payload["profile"] = profile_stats
+            memprofile_stats = cache_stats.pop("memprofile", None)
+            if memprofile_stats is not None:
+                payload["memprofile"] = memprofile_stats
             payload["cache"] = cache_stats
         print(json.dumps(payload, indent=2))
     else:
@@ -926,6 +971,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                     f"{profile_stats['cold']} cold]",
                     file=sys.stderr,
                 )
+            memprofile_stats = cache_stats.get("memprofile")
+            if memprofile_stats is not None:
+                print(
+                    f"[memprofile: {memprofile_stats['total_bytes']} bytes "
+                    f"total, "
+                    f"{memprofile_stats['matched']}/{memprofile_stats['ranked']} "
+                    f"findings measured: {memprofile_stats['hot']} hot, "
+                    f"{memprofile_stats['warm']} warm, "
+                    f"{memprofile_stats['cold']} cold]",
+                    file=sys.stderr,
+                )
     # Cold findings are profile-demoted notes: reported, but they never
     # fail the gate -- the whole point of ranking by measured cost.
     gating = [
@@ -948,6 +1004,50 @@ def _cmd_profile_run(args: argparse.Namespace) -> int:
     print(
         f"repro-qos profile: {summary.events_executed} events in "
         f"{summary.wall_seconds:.3f}s wall -> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_profile_mem(args: argparse.Namespace) -> int:
+    import json
+    import tracemalloc
+
+    from repro.exec.summary import execute_config
+
+    config = _config_from(args, arch=args.arch, load=args.load)
+    tracemalloc.start()
+    try:
+        summary = execute_config(config)
+        snapshot = tracemalloc.take_snapshot()
+        _, peak_bytes = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    stats = snapshot.statistics("lineno")
+    sites = [
+        {
+            "file": stat.traceback[0].filename,
+            "line": stat.traceback[0].lineno,
+            "size_bytes": stat.size,
+            "count": stat.count,
+        }
+        for stat in stats[: max(0, args.top)]
+        if not stat.traceback[0].filename.startswith("<")
+    ]
+    payload = {
+        "schema": "simlint-memprofile/v1",
+        "total_bytes": sum(stat.size for stat in stats),
+        "peak_bytes": peak_bytes,
+        "events_executed": summary.events_executed,
+        "sites": sites,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"repro-qos profile: {summary.events_executed} events, "
+        f"{payload['total_bytes']} bytes live across {len(sites)} sites "
+        f"(peak {peak_bytes}) -> {args.out}",
         file=sys.stderr,
     )
     return 0
@@ -976,6 +1076,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "profile":
+        if args.profile_command == "mem":
+            return _cmd_profile_mem(args)
         return _cmd_profile_run(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 

@@ -138,6 +138,16 @@ class FlowRegistry:
     def get(self, flow_id: int) -> FlowState:
         return self._flows[flow_id]
 
+    def close(self, flow_id: int) -> FlowState:
+        """Retire a finished flow, releasing its sender-side state.
+
+        Scale runs with flow churn must close flows as they finish;
+        otherwise the registry holds every :class:`FlowState` ever
+        created for the life of the fabric.  Returns the closed state so
+        callers can archive its totals first.
+        """
+        return self._flows.pop(flow_id)
+
     def __len__(self) -> int:
         return len(self._flows)
 

@@ -40,7 +40,9 @@ __all__ = ["SummaryCache", "hash_source", "rules_digest"]
 #: divisions).
 #: 5: schedule-call records gained ``in_loop`` and ``fresh_args``
 #: (SIM307) and ``at_cancellable``/``after_cancellable`` sinks.
-CACHE_SCHEMA_VERSION = 5
+#: 6: SIM5xx scale fields (container ops, pool flows, closure
+#: retentions) + per-class ``containers`` lifecycle facts.
+CACHE_SCHEMA_VERSION = 6
 
 #: File name used inside the cache directory.
 CACHE_FILE_NAME = "projectmodel.json"

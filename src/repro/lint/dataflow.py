@@ -179,6 +179,30 @@ _ENVIRON_WRITE_METHODS = frozenset({"update", "setdefault", "pop", "popitem", "c
 #: Rename calls that make a preceding temp-file write atomic.
 _ATOMIC_RENAME_ATTRS = frozenset({"replace", "rename", "renames"})
 
+#: Container-method effect classes for the SIM5xx scale-soundness
+#: facts: which methods make long-lived ``self.<attr>`` state grow,
+#: shrink, or pay an O(n) scan.
+_GROW_METHODS = frozenset(
+    {"append", "appendleft", "add", "extend", "insert", "setdefault", "update"}
+)
+_SHRINK_METHODS = frozenset(
+    {"pop", "popitem", "popleft", "remove", "discard", "clear"}
+)
+#: Linear list methods SIM502 treats like membership tests.
+_LINEAR_METHODS = frozenset({"index", "count"})
+#: ``heapq`` module functions, matched on the terminal name so both
+#: ``heapq.heappush(...)`` and a bare imported ``heappush(...)`` count.
+_HEAP_GROW_FUNCS = frozenset({"heappush"})
+_HEAP_SHRINK_FUNCS = frozenset({"heappop", "heappushpop", "heapreplace"})
+#: Builtin calls that rebuild (full-copy/scan) a container per call.
+_REBUILD_CALLS = frozenset({"sorted", "list", "set", "dict", "tuple", "frozenset"})
+#: Paired resource APIs (SIM503): methods that hand out a pooled object
+#: the caller must give back, and the give-back verbs.
+_POOL_ACQUIRE_ATTRS = frozenset(
+    {"mint", "acquire", "at_cancellable", "after_cancellable"}
+)
+_POOL_RELEASE_ATTRS = frozenset({"recycle", "release", "cancel"})
+
 #: Constructor names whose every call allocates a fresh container
 #: (SIM301).  Matched on the terminal name so both ``deque(...)`` and
 #: ``collections.deque(...)`` count.
@@ -359,6 +383,25 @@ class FunctionFact:
     #: "op_span"}`` -- ``op_span`` is the 1-char ``/`` span the
     #: ``//`` fix replaces (``None`` when the source is unavailable).
     ns_true_divs: List[Dict[str, Any]] = field(default_factory=list)
+    #: One record per operation on a ``self.<attr>`` container
+    #: (SIM501/502/504/505), collected for methods only: ``{"attr",
+    #: "op", "method", "line", "col", "in_loop", "key_src",
+    #: "func_span", "recv_src"}`` -- ``op`` in {"grow", "shrink",
+    #: "member", "rebuild", "rebind", "iterate", "read", "escape",
+    #: "other"}; ``key_src`` is the key expression source for keyed
+    #: grows; ``func_span``/``recv_src`` carry what the list->set
+    #: rewrite needs for method-call sites.
+    container_ops: List[Dict[str, Any]] = field(default_factory=list)
+    #: One record per paired-API acquire bound to a local (SIM503):
+    #: ``{"var", "line", "col", "attr", "api", "escapes", "released",
+    #: "release_lines"}`` -- ``released`` in {"always", "conditional",
+    #: "never"}, judged per control-flow path by branch depth.
+    pool_flows: List[Dict[str, Any]] = field(default_factory=list)
+    #: One record per scheduled callback capturing a container-valued
+    #: local by reference (SIM506): ``{"line", "col", "attr", "kind",
+    #: "callee", "vars", "fix"}`` -- ``fix`` rebinds the containers as
+    #: lambda default arguments, or ``None``.
+    closure_retentions: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -388,6 +431,9 @@ class FunctionFact:
             "sort_keys": self.sort_keys,
             "loop_captures": self.loop_captures,
             "ns_true_divs": self.ns_true_divs,
+            "container_ops": self.container_ops,
+            "pool_flows": self.pool_flows,
+            "closure_retentions": self.closure_retentions,
         }
 
     @classmethod
@@ -428,6 +474,9 @@ class FunctionFact:
             sort_keys=list(payload.get("sort_keys", ())),
             loop_captures=list(payload.get("loop_captures", ())),
             ns_true_divs=list(payload.get("ns_true_divs", ())),
+            container_ops=list(payload.get("container_ops", ())),
+            pool_flows=list(payload.get("pool_flows", ())),
+            closure_retentions=list(payload.get("closure_retentions", ())),
         )
 
 
@@ -483,6 +532,10 @@ class FunctionAnalyzer:
         #: AST nodes of functions defined in this body, so a local
         #: ``def`` handed to the scheduler can be checked for captures.
         self._local_def_nodes: Dict[str, ast.AST] = {}
+        #: Locals currently bound to a container display/constructor
+        #: (SIM506 retention detection); membership tracks the *latest*
+        #: binding, so a rebind to a scalar clears the mark.
+        self.container_locals: Set[str] = set()
 
     # -- origin resolution -------------------------------------------------
 
@@ -1305,6 +1358,13 @@ class FunctionAnalyzer:
                 ),
             }
         )
+        for arg in node.args[sink + 1 :]:
+            if isinstance(arg, ast.Lambda):
+                self._note_closure_retention(node, attr, arg)
+            elif isinstance(arg, ast.Name) and arg.id in self.local_defs:
+                def_node = self._local_def_nodes.get(arg.id)
+                if def_node is not None:
+                    self._note_def_retention(node, attr, arg.id, def_node)
         if not self._loop_stack:
             return
         active: Set[str] = set().union(*self._loop_stack)
@@ -1417,6 +1477,112 @@ class FunctionAnalyzer:
                     "kind": "local-def",
                     "callee": name,
                     "vars": captured,
+                    "fix": None,
+                }
+            )
+
+    def _note_closure_retention(
+        self, call: ast.Call, attr: str, lam: ast.Lambda
+    ) -> None:
+        """SIM506 raw material: a scheduled lambda whose free variables
+        include a container-valued local retains the whole container
+        until the callback fires (or forever, if it re-arms)."""
+        if self.fact is None or not self.container_locals:
+            return
+        params = {
+            arg.arg
+            for arg in (
+                *lam.args.posonlyargs,
+                *lam.args.args,
+                *lam.args.kwonlyargs,
+            )
+        }
+        if lam.args.vararg is not None:
+            params.add(lam.args.vararg.arg)
+        if lam.args.kwarg is not None:
+            params.add(lam.args.kwarg.arg)
+        retained = sorted(
+            {
+                sub.id
+                for sub in ast.walk(lam.body)
+                if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)
+            }
+            & self.container_locals
+            - params
+        )
+        if not retained:
+            return
+        fix: Optional[Dict[str, Any]] = None
+        plain_args = [arg.arg for arg in lam.args.args]
+        fixable = (
+            len(plain_args) == len(params)
+            and not lam.args.defaults
+            and not any(default is not None for default in lam.args.kw_defaults)
+            and lam.body.lineno == lam.lineno
+        )
+        if fixable:
+            bound = ", ".join([*plain_args, *[f"{v}={v}" for v in retained]])
+            fix = {
+                "span": [
+                    lam.lineno,
+                    lam.col_offset,
+                    lam.body.lineno,
+                    lam.body.col_offset,
+                ],
+                "replacement": f"lambda {bound}: ",
+            }
+        self.fact.closure_retentions.append(
+            {
+                "line": call.lineno,
+                "col": call.col_offset,
+                "attr": attr,
+                "kind": "lambda",
+                "callee": "<lambda>",
+                "vars": retained,
+                "fix": fix,
+            }
+        )
+
+    def _note_def_retention(
+        self, call: ast.Call, attr: str, name: str, def_node: ast.AST
+    ) -> None:
+        if self.fact is None or not self.container_locals:
+            return
+        if not isinstance(def_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        bound = {
+            arg.arg
+            for arg in (
+                *def_node.args.posonlyargs,
+                *def_node.args.args,
+                *def_node.args.kwonlyargs,
+            )
+        }
+        for stmt in def_node.body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Name) and isinstance(
+                    sub.ctx, (ast.Store, ast.Del)
+                ):
+                    bound.add(sub.id)
+        retained = sorted(
+            {
+                sub.id
+                for stmt in def_node.body
+                for sub in ast.walk(stmt)
+                if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)
+            }
+            & self.container_locals
+            - bound
+        )
+        if retained:
+            self.fact.closure_retentions.append(
+                {
+                    "line": call.lineno,
+                    "col": call.col_offset,
+                    "attr": attr,
+                    "kind": "local-def",
+                    "callee": name,
+                    "vars": retained,
                     "fix": None,
                 }
             )
@@ -1608,12 +1774,40 @@ class FunctionAnalyzer:
         self.local_names.update(fact.params)
         self.local_names -= self.declared_globals
         self._visit_block(body)
+        if fact.qualname != "<module>":
+            # Second, dedicated walk for the SIM5xx scale facts: the
+            # container-op/pool-flow classification needs its own loop
+            # and branch depth tracking (covering ``while`` bodies the
+            # main walk's loop stack skips) and a local alias map.
+            _ScaleCollector(self, fact, body).run()
         return fact
 
-    def _assign_target(self, target: ast.expr, dim: Optional[Dim], is_set: bool) -> None:
+    def _is_container_expr(self, node: ast.expr) -> bool:
+        """Whether ``node`` builds a container object (SIM506)."""
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp),
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            tail = dotted_name(node.func).rsplit(".", 1)[-1]
+            return tail in _CONTAINER_CONSTRUCTORS
+        return False
+
+    def _assign_target(
+        self,
+        target: ast.expr,
+        dim: Optional[Dim],
+        is_set: bool,
+        is_container: bool = False,
+    ) -> None:
         if isinstance(target, ast.Name):
             self.env[target.id] = dim
             self.set_vars[target.id] = is_set
+            if is_container:
+                self.container_locals.add(target.id)
+            else:
+                self.container_locals.discard(target.id)
         elif isinstance(target, (ast.Tuple, ast.List)):
             for element in target.elts:
                 self._assign_target(element, None, False)
@@ -1628,9 +1822,10 @@ class FunctionAnalyzer:
             is_set = self._is_set_expr(stmt.value) is not None
             self._note_varying_assign(stmt.value, stmt.targets)
             self._note_temporal_assign(stmt.targets, stmt.value, stmt)
+            is_container = self._is_container_expr(stmt.value)
             for target in stmt.targets:
                 self._note_store_target(target, stmt)
-                self._assign_target(target, dim, is_set)
+                self._assign_target(target, dim, is_set, is_container)
         elif isinstance(stmt, ast.AnnAssign):
             if stmt.value is not None:
                 value_dim = self.infer(stmt.value)
@@ -1649,7 +1844,10 @@ class FunctionAnalyzer:
                 self._note_temporal_assign([stmt.target], stmt.value, stmt)
                 self._note_store_target(stmt.target, stmt)
                 self._assign_target(
-                    stmt.target, value_dim, self._is_set_expr(stmt.value) is not None
+                    stmt.target,
+                    value_dim,
+                    self._is_set_expr(stmt.value) is not None,
+                    self._is_container_expr(stmt.value),
                 )
         elif isinstance(stmt, ast.AugAssign):
             target_dim = self.infer(stmt.target) if isinstance(
@@ -2049,3 +2247,511 @@ class _LoopBodyCollector:
                 record(
                     fact.loop_global_lookups, "name", name, sites, {"kind": kind}
                 )
+
+
+class _ScaleCollector:
+    """Dedicated walk of one function body for the SIM5xx scale facts.
+
+    Two fact families come out of it:
+
+    - **container ops** (methods only): every touch of a 2-part
+      ``self.<attr>`` chain -- or of a plain local *alias* of one
+      (``pending = self._pending``) -- classified by effect (grow,
+      shrink, member, rebuild, rebind, iterate, read, escape, other).
+      The lifecycle layer (:mod:`repro.lint.lifecycle`) aggregates
+      these per class to decide whether long-lived state can shrink.
+    - **pool flows** (SIM503): paired-API acquires bound to a local
+      (``pkt = factory.mint(...)``) matched against their releases
+      (``factory.recycle(pkt)``, ``handle.cancel()``) and escapes
+      (passed on, returned, stored, captured), judged per control-flow
+      path by branch depth.
+
+    Loop depth counts ``for`` *and* ``while`` bodies plus comprehension
+    bodies (the main walk's loop stack is ``for``-only); branch depth
+    counts ``if`` arms and ``except`` handlers, so a release that only
+    happens on some of those paths reads as *conditional*.  ``raise``
+    and closure bodies are skipped for ops -- error paths may shuffle
+    state freely -- but closure bodies still count as escapes for any
+    pooled handle they reference.
+    """
+
+    def __init__(
+        self,
+        analyzer: FunctionAnalyzer,
+        fact: FunctionFact,
+        body: List[ast.stmt],
+    ) -> None:
+        self.analyzer = analyzer
+        self.fact = fact
+        self.body = body
+        self.is_method = fact.is_method and analyzer.class_name is not None
+        #: local name -> the ``self`` attribute it aliases.
+        self.aliases: Dict[str, str] = {}
+        self.loop_depth = 0
+        self.branch_depth = 0
+        self._in_finally = False
+        #: local name -> acquire record (var bound from a paired API).
+        self.pool_vars: Dict[str, Dict[str, Any]] = {}
+        #: local name -> [(branch_depth, in_finally, line)] per release.
+        self.releases: Dict[str, List[Tuple[int, bool, int]]] = {}
+        #: local name -> count of frame-escaping uses.
+        self.uses: Dict[str, int] = {}
+
+    def run(self) -> None:
+        for stmt in self.body:
+            self._stmt(stmt)
+        self._finish()
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _self_attr(self, node: Optional[ast.AST]) -> Optional[str]:
+        """The class attribute ``node`` denotes (directly or through a
+        local alias), restricted to 2-part ``self.X`` chains."""
+        if not self.is_method or node is None:
+            return None
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return self.aliases.get(node.id)
+        return None
+
+    def _op(
+        self,
+        attr: str,
+        op: str,
+        method: str,
+        node: ast.AST,
+        key_src: Optional[str] = None,
+        func: Optional[ast.Attribute] = None,
+    ) -> None:
+        rec: Dict[str, Any] = {
+            "attr": attr,
+            "op": op,
+            "method": method,
+            "line": node.lineno,  # type: ignore[attr-defined]
+            "col": node.col_offset,  # type: ignore[attr-defined]
+            "in_loop": self.loop_depth > 0,
+            "key_src": key_src,
+            "func_span": None,
+            "recv_src": None,
+        }
+        if func is not None and getattr(func, "end_lineno", None) is not None:
+            rec["func_span"] = [
+                func.lineno,
+                func.col_offset,
+                func.end_lineno,
+                func.end_col_offset,
+            ]
+            rec["recv_src"] = self.analyzer._src(func.value)
+        self.fact.container_ops.append(rec)
+
+    def _use(self, var: str) -> None:
+        self.uses[var] = self.uses.get(var, 0) + 1
+
+    def _note_release(self, var: str, node: ast.AST) -> None:
+        self.releases.setdefault(var, []).append(
+            (self.branch_depth, self._in_finally, node.lineno)  # type: ignore[attr-defined]
+        )
+
+    def _release_by_arg(self, node: ast.Call) -> None:
+        if node.args and isinstance(node.args[0], ast.Name):
+            self._note_release(node.args[0].id, node)
+
+    def _closure_uses(self, node: ast.AST) -> None:
+        """Pooled handles referenced inside a closure body escape into
+        it; nothing else in a closure is this walk's business."""
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Name)
+                and isinstance(sub.ctx, ast.Load)
+                and sub.id in self.pool_vars
+            ):
+                self._use(sub.id)
+
+    # -- statement walk ----------------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._assign(stmt.targets, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign([stmt.target], stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            self._augassign(stmt)
+            self._expr(stmt.value)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Subscript):
+                    attr = self._self_attr(target.value)
+                    if attr is not None:
+                        self._op(attr, "shrink", "delitem", target)
+                        self._expr(target.slice)
+                        continue
+                if isinstance(target, ast.Name):
+                    self.aliases.pop(target.id, None)
+                else:
+                    self._expr(target)
+        elif isinstance(stmt, ast.Expr):
+            self._expr(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                attr = self._self_attr(stmt.value)
+                if attr is not None:
+                    self._op(attr, "escape", "return", stmt.value)
+                elif (
+                    isinstance(stmt.value, ast.Name)
+                    and stmt.value.id in self.pool_vars
+                ):
+                    self._use(stmt.value.id)
+                else:
+                    self._expr(stmt.value)
+        elif isinstance(stmt, ast.If):
+            if not isinstance(stmt.test, ast.Name):
+                self._expr(stmt.test)  # bare-Name truthiness is not a use
+            self.branch_depth += 1
+            try:
+                for sub in stmt.body:
+                    self._stmt(sub)
+                for sub in stmt.orelse:
+                    self._stmt(sub)
+            finally:
+                self.branch_depth -= 1
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            attr = self._self_attr(stmt.iter)
+            if attr is not None:
+                self._op(attr, "iterate", "for", stmt.iter)
+            else:
+                self._expr(stmt.iter)
+            for sub in ast.walk(stmt.target):
+                if isinstance(sub, ast.Name):
+                    self.aliases.pop(sub.id, None)
+            self.loop_depth += 1
+            try:
+                for sub in stmt.body:
+                    self._stmt(sub)
+            finally:
+                self.loop_depth -= 1
+            for sub in stmt.orelse:
+                self._stmt(sub)
+        elif isinstance(stmt, ast.While):
+            self.loop_depth += 1
+            try:
+                self._expr(stmt.test)
+                for sub in stmt.body:
+                    self._stmt(sub)
+            finally:
+                self.loop_depth -= 1
+            for sub in stmt.orelse:
+                self._stmt(sub)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._expr(item.context_expr)
+            for sub in stmt.body:
+                self._stmt(sub)
+        elif isinstance(stmt, ast.Try):
+            for sub in stmt.body:
+                self._stmt(sub)
+            self.branch_depth += 1
+            try:
+                for handler in stmt.handlers:
+                    for sub in handler.body:
+                        self._stmt(sub)
+            finally:
+                self.branch_depth -= 1
+            for sub in stmt.orelse:
+                self._stmt(sub)
+            previous = self._in_finally
+            self._in_finally = True
+            try:
+                for sub in stmt.finalbody:
+                    self._stmt(sub)
+            finally:
+                self._in_finally = previous
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._closure_uses(stmt)
+        elif isinstance(stmt, ast.Assert):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._expr(child)
+        # Raise/Import/Global/Pass/Break/Continue/ClassDef: error paths
+        # and declarations record nothing here.
+
+    def _assign(self, targets: List[ast.expr], value: ast.expr) -> None:
+        single = targets[0] if len(targets) == 1 else None
+        if isinstance(single, ast.Name):
+            if isinstance(value, ast.Attribute) and isinstance(
+                value.ctx, ast.Load
+            ):
+                alias_of = self._self_attr(value)
+                if alias_of is not None:
+                    if single.id in self.pool_vars:
+                        self._use(single.id)
+                    self.aliases[single.id] = alias_of
+                    return
+            self.aliases.pop(single.id, None)
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in _POOL_ACQUIRE_ATTRS
+            ):
+                if single.id in self.pool_vars:
+                    self._use(single.id)  # overwritten before release
+                self.pool_vars[single.id] = {
+                    "line": value.lineno,
+                    "col": value.col_offset,
+                    "attr": value.func.attr,
+                    "depth": self.branch_depth,
+                }
+                self._walk_args(value, skip_first=False)
+                return
+        for target in targets:
+            if isinstance(target, ast.Attribute):
+                if (
+                    self.is_method
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    self._op(target.attr, "rebind", "=", target)
+            elif isinstance(target, ast.Subscript):
+                attr = self._self_attr(target.value)
+                if attr is not None:
+                    self._op(
+                        attr,
+                        "grow",
+                        "setitem",
+                        target,
+                        key_src=self.analyzer._src(target.slice),
+                    )
+                    self._expr(target.slice)
+                else:
+                    self._expr(target)
+            elif isinstance(target, ast.Name):
+                if target.id in self.pool_vars:
+                    self._use(target.id)
+                self.aliases.pop(target.id, None)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        self.aliases.pop(element.id, None)
+        self._expr(value)
+
+    def _augassign(self, stmt: ast.AugAssign) -> None:
+        target = stmt.target
+        if not isinstance(stmt.op, ast.Add):
+            return
+        if isinstance(target, ast.Attribute):
+            attr = self._self_attr(target)
+            if attr is not None:
+                self._op(attr, "grow", "iadd", target)
+        elif isinstance(target, ast.Subscript):
+            attr = self._self_attr(target.value)
+            if attr is not None:
+                self._op(
+                    attr,
+                    "grow",
+                    "setitem",
+                    target,
+                    key_src=self.analyzer._src(target.slice),
+                )
+                self._expr(target.slice)
+
+    # -- expression walk ---------------------------------------------------
+
+    def _expr(self, node: Optional[ast.AST]) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.Call):
+            self._call(node)
+            return
+        if isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.In, ast.NotIn)):
+                    attr = self._self_attr(comparator)
+                    if attr is not None:
+                        self._op(attr, "member", "in", comparator)
+            self._expr(node.left)
+            for comparator in node.comparators:
+                if self._self_attr(comparator) is None:
+                    self._expr(comparator)
+            return
+        if isinstance(node, ast.Subscript):
+            attr = self._self_attr(node.value)
+            if attr is not None:
+                self._op(attr, "read", "getitem", node)
+                self._expr(node.slice)
+                return
+            self._expr(node.value)
+            self._expr(node.slice)
+            return
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            self.loop_depth += 1
+            try:
+                for generator in node.generators:
+                    attr = self._self_attr(generator.iter)
+                    if attr is not None:
+                        self._op(attr, "iterate", "comprehension", generator.iter)
+                    else:
+                        self._expr(generator.iter)
+                    for condition in generator.ifs:
+                        self._expr(condition)
+                if isinstance(node, ast.DictComp):
+                    self._expr(node.key)
+                    self._expr(node.value)
+                else:
+                    self._expr(node.elt)
+            finally:
+                self.loop_depth -= 1
+            return
+        if isinstance(node, ast.Lambda):
+            self._closure_uses(node.body)
+            return
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load) and node.id in self.pool_vars:
+                self._use(node.id)
+            return
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name):
+                return  # `x.field` / `self.x`: a field read, not an escape
+            self._expr(node.value)
+            return
+        if isinstance(node, ast.Starred):
+            self._expr(node.value)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child)
+
+    def _walk_args(self, node: ast.Call, skip_first: bool) -> None:
+        args = node.args[1:] if skip_first and node.args else node.args
+        for arg in args:
+            attr = self._self_attr(arg)
+            if attr is not None:
+                self._op(attr, "escape", "arg", arg)
+            else:
+                self._expr(arg)
+        for keyword in node.keywords:
+            attr = self._self_attr(keyword.value)
+            if attr is not None:
+                self._op(attr, "escape", "arg", keyword.value)
+            else:
+                self._expr(keyword.value)
+
+    def _call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            recv_attr = self._self_attr(func.value)
+            method = func.attr
+            if recv_attr is not None:
+                if method in _GROW_METHODS:
+                    key_src = None
+                    if method == "setdefault" and node.args:
+                        key_src = self.analyzer._src(node.args[0])
+                    self._op(
+                        recv_attr, "grow", method, node, key_src=key_src, func=func
+                    )
+                elif method in _SHRINK_METHODS:
+                    self._op(recv_attr, "shrink", method, node, func=func)
+                elif method in _LINEAR_METHODS:
+                    self._op(recv_attr, "member", method, node, func=func)
+                elif method == "copy":
+                    self._op(recv_attr, "rebuild", "copy", node, func=func)
+                elif method in _POOL_RELEASE_ATTRS:
+                    self._release_by_arg(node)
+                elif method in ("get", "keys", "values", "items"):
+                    self._op(recv_attr, "read", method, node)
+                else:
+                    self._op(recv_attr, "other", method, node)
+                self._walk_args(node, skip_first=method in _POOL_RELEASE_ATTRS)
+                return
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id in self.pool_vars
+                and method in _POOL_RELEASE_ATTRS
+            ):
+                self._note_release(func.value.id, node)
+                self._walk_args(node, skip_first=False)
+                return
+            # Module-qualified heap ops: heapq.heappush(self._pending, x).
+            first_attr = self._self_attr(node.args[0]) if node.args else None
+            if first_attr is not None and method in _HEAP_GROW_FUNCS:
+                self._op(first_attr, "grow", method, node)
+                self._walk_args(node, skip_first=True)
+                return
+            if first_attr is not None and method in (
+                _HEAP_SHRINK_FUNCS | _REBUILD_CALLS
+            ):
+                kind = "shrink" if method in _HEAP_SHRINK_FUNCS else "rebuild"
+                self._op(first_attr, kind, method, node)
+                self._walk_args(node, skip_first=True)
+                return
+            if method in _POOL_RELEASE_ATTRS:
+                self._release_by_arg(node)
+                self._expr(func.value)
+                self._walk_args(node, skip_first=True)
+                return
+            self._expr(func.value)
+            self._walk_args(node, skip_first=False)
+            return
+        dotted = dotted_name(func)
+        tail = dotted.rsplit(".", 1)[-1] if dotted else ""
+        first = node.args[0] if node.args else None
+        first_attr = self._self_attr(first)
+        if first_attr is not None and tail in _HEAP_GROW_FUNCS:
+            self._op(first_attr, "grow", tail, node)
+            self._walk_args(node, skip_first=True)
+            return
+        if first_attr is not None and tail in _HEAP_SHRINK_FUNCS:
+            self._op(first_attr, "shrink", tail, node)
+            self._walk_args(node, skip_first=True)
+            return
+        if first_attr is not None and tail in _REBUILD_CALLS:
+            self._op(first_attr, "rebuild", tail, node)
+            self._walk_args(node, skip_first=True)
+            return
+        if first_attr is not None and tail == "len":
+            self._op(first_attr, "read", "len", node)
+            return
+        if tail in _POOL_RELEASE_ATTRS:
+            self._release_by_arg(node)
+            self._walk_args(node, skip_first=True)
+            return
+        if not isinstance(func, (ast.Name, ast.Attribute)):
+            self._expr(func)
+        self._walk_args(node, skip_first=False)
+
+    # -- aggregation -------------------------------------------------------
+
+    def _finish(self) -> None:
+        for var, acquire in sorted(self.pool_vars.items()):
+            releases = self.releases.get(var, [])
+            if any(
+                in_finally or depth <= acquire["depth"]
+                for depth, in_finally, _ in releases
+            ):
+                released = "always"
+            elif releases:
+                released = "conditional"
+            else:
+                released = "never"
+            self.fact.pool_flows.append(
+                {
+                    "var": var,
+                    "line": acquire["line"],
+                    "col": acquire["col"],
+                    "attr": acquire["attr"],
+                    "api": (
+                        "event-handle"
+                        if acquire["attr"].endswith("cancellable")
+                        else "object-pool"
+                    ),
+                    "escapes": self.uses.get(var, 0) > 0,
+                    "released": released,
+                    "release_lines": sorted(line for _, _, line in releases),
+                }
+            )

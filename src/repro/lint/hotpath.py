@@ -42,8 +42,10 @@ __all__ = [
     "HOT_PATH_PATTERNS",
     "SANCTIONED_PATH_PATTERNS",
     "HotPathAnalysis",
+    "MemProfileIndex",
     "ProfileIndex",
     "analyze_hotpath",
+    "annotate_memprofile",
     "annotate_profile",
     "is_sanctioned",
 ]
@@ -256,6 +258,166 @@ def annotate_profile(
         )
     stats: Dict[str, Any] = {
         "total_seconds": round(total, 6),
+        "ranked": len(ranked),
+        "matched": len(timed),
+    }
+    stats.update(counts)
+    return annotated, stats
+
+
+# ----------------------------------------------------------------------
+# allocation-guided ranking (the SIM5xx mirror of the pstats mode)
+# ----------------------------------------------------------------------
+#: Schema tag written by ``repro-qos profile mem`` and required by the
+#: reader -- a dump from a different writer fails fast, not quietly.
+MEMPROFILE_SCHEMA = "simlint-memprofile/v1"
+
+
+class MemProfileIndex:
+    """Per-site allocation lookup over one tracemalloc snapshot dump.
+
+    The dump is the JSON produced by ``repro-qos profile mem``: total
+    and peak traced bytes plus ``sites`` records of ``{file, line,
+    size_bytes, count}`` (one per ``tracemalloc.statistics("lineno")``
+    entry).  Sites are indexed by file basename and matched to model
+    paths by common suffix, the same contract as :class:`ProfileIndex`.
+    """
+
+    def __init__(
+        self,
+        sites: Sequence[Tuple[str, int, int]],
+        total_bytes: int,
+        peak_bytes: int,
+    ) -> None:
+        self.total_bytes = total_bytes
+        self.peak_bytes = peak_bytes
+        self._by_base: Dict[str, List[Tuple[str, int, int]]] = {}
+        for filename, lineno, size in sites:
+            base = filename.rsplit("/", 1)[-1]
+            self._by_base.setdefault(base, []).append((filename, lineno, size))
+
+    @classmethod
+    def load(cls, path: Union[str, "object"]) -> "MemProfileIndex":
+        """Read a ``profile mem`` JSON dump.  Raises
+        :class:`FileNotFoundError` when missing and :class:`ValueError`
+        when unreadable or not a memprofile dump."""
+        import json
+
+        try:
+            text = open(str(path), "r", encoding="utf-8").read()
+        except FileNotFoundError:
+            raise
+        except OSError as exc:
+            raise ValueError(f"unreadable memprofile dump: {path} ({exc})")
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ValueError(
+                f"not a JSON memprofile dump: {path} ({exc}) "
+                "(produce one with `repro-qos profile mem`)"
+            )
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != MEMPROFILE_SCHEMA
+        ):
+            raise ValueError(
+                f"not a {MEMPROFILE_SCHEMA} dump: {path} "
+                "(produce one with `repro-qos profile mem`)"
+            )
+        sites: List[Tuple[str, int, int]] = []
+        for site in payload.get("sites", ()):
+            posix = str(site.get("file", "")).replace("\\", "/")
+            if not posix or posix.startswith("<"):
+                continue
+            sites.append(
+                (posix, int(site.get("line", 0)), int(site.get("size_bytes", 0)))
+            )
+        return cls(
+            sites,
+            int(payload.get("total_bytes", 0)),
+            int(payload.get("peak_bytes", 0)),
+        )
+
+    def sites_for(self, path: str) -> Iterator[Tuple[int, int]]:
+        """``(line, size_bytes)`` pairs recorded against ``path``
+        (suffix-matched, so dumps taken from any working directory
+        line up with model paths rooted elsewhere)."""
+        base = path.rsplit("/", 1)[-1]
+        for filename, lineno, size in self._by_base.get(base, ()):
+            if (
+                filename == path
+                or filename.endswith("/" + path)
+                or path.endswith("/" + filename)
+            ):
+                yield lineno, size
+
+
+def annotate_memprofile(
+    violations: Sequence[Violation],
+    model: ProjectModel,
+    index: MemProfileIndex,
+) -> Tuple[List[Violation], Dict[str, Any]]:
+    """Attach ``{bucket, alloc_bytes, fraction}`` to every SIM5xx
+    finding, ranking by bytes measured against the finding's enclosing
+    function.
+
+    Mirrors :func:`annotate_profile`: the top decile by measured bytes
+    is ``hot``, unmeasured findings demote to ``cold`` notes (real
+    anti-patterns, but not where the memory goes *in the profiled
+    workload*), and the rest are ``warm``.  Only the SIM5xx family is
+    touched, so a run may rank by time and bytes simultaneously.
+    """
+    annotated = list(violations)
+    alloc: Dict[Tuple[str, str], int] = {}
+    for summary in model.summaries():
+        for lineno, size in index.sites_for(summary.path):
+            fact = _enclosing_fact(summary, lineno)
+            if fact is None:
+                continue
+            key = (summary.path, fact.qualname)
+            alloc[key] = alloc.get(key, 0) + size
+
+    ranked: List[Tuple[int, Optional[int]]] = []
+    for i, violation in enumerate(annotated):
+        if not violation.rule_id.startswith("SIM5"):
+            continue
+        measured: Optional[int] = None
+        summary = model.by_path.get(violation.path)
+        if summary is not None:
+            fact = _enclosing_fact(summary, violation.line)
+            if fact is not None:
+                measured = alloc.get((violation.path, fact.qualname))
+        ranked.append((i, measured))
+
+    timed = sorted(
+        [(i, b) for i, b in ranked if b],
+        key=lambda item: (-item[1], item[0]),
+    )
+    hot_count = max(1, math.ceil(len(timed) / 10)) if timed else 0
+    hot_indices = {i for i, _ in timed[:hot_count]}
+    total = index.total_bytes
+    counts = {"hot": 0, "warm": 0, "cold": 0}
+    for i, measured in ranked:
+        if not measured:
+            bucket = "cold"
+        elif i in hot_indices:
+            bucket = "hot"
+        else:
+            bucket = "warm"
+        counts[bucket] += 1
+        annotated[i] = replace(
+            annotated[i],
+            profile={
+                "bucket": bucket,
+                "alloc_bytes": int(measured or 0),
+                "fraction": (
+                    round(measured / total, 6) if measured and total else 0.0
+                ),
+            },
+        )
+    stats: Dict[str, Any] = {
+        "total_bytes": int(total),
+        "peak_bytes": int(index.peak_bytes),
         "ranked": len(ranked),
         "matched": len(timed),
     }

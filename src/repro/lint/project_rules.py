@@ -96,6 +96,12 @@ from repro.lint.hotpath import (
     is_sanctioned,
     iter_hot_facts,
 )
+from repro.lint.lifecycle import (
+    AttrLifecycle,
+    ClassLifecycle,
+    ScaleAnalysis,
+    analyze_scale,
+)
 from repro.lint.parallel import ParallelAnalysis, SubmissionSite, analyze_parallel
 from repro.lint.projectmodel import ModuleSummary, ProjectModel
 from repro.lint.temporal import FLOAT, SUBTRACTION, iter_temporal_facts
@@ -1666,3 +1672,524 @@ class TruncatingTimeDivRule(ProjectRule):
                     (summary.path,),
                     fix=fix,
                 )
+
+
+# ----------------------------------------------------------------------
+# SIM5xx: scale soundness (container-lifecycle based)
+# ----------------------------------------------------------------------
+#: Growth methods that add elements without a key: the SIM501 signal.
+_UNKEYED_GROW_METHODS = frozenset(
+    {"append", "appendleft", "add", "extend", "insert", "heappush", "iadd"}
+)
+
+#: ``key_src`` tail tokens that identify per-packet/per-flow keys.
+_UID_KEY_TOKENS = frozenset(
+    {
+        "uid",
+        "pkt",
+        "packet",
+        "flow",
+        "flow_id",
+        "seq",
+        "seqno",
+        "msg_id",
+        "span_id",
+        "trace_id",
+    }
+)
+
+
+def _keyed_by_uid(key_src: Optional[str]) -> bool:
+    """Whether a subscript/setdefault key names a per-entity id: the
+    last identifier of the key expression is matched, so a counter
+    keyed by ``pkt.tclass`` (a handful of classes) stays exempt while
+    ``pkt.uid`` / ``flow_id`` / ``state.span_id`` match."""
+    if not key_src:
+        return False
+    token = key_src.strip("() ").rsplit(".", 1)[-1].strip("() ").lower()
+    return (
+        token in _UID_KEY_TOKENS
+        or token.endswith("uid")
+        or token.endswith("_id")
+    )
+
+
+def _site(op: Dict[str, Any]) -> Tuple[int, int]:
+    return int(op["line"]), int(op["col"])
+
+
+def _never_shrinks(cycle: AttrLifecycle) -> bool:
+    """No method of the class ever removes from or replaces the attr."""
+    return not cycle.shrinks and not cycle.rebinds
+
+
+@register_project_rule
+class UnboundedHotGrowthRule(ProjectRule):
+    id = "SIM501"
+    name = "unbounded-hot-growth"
+    description = (
+        "long-lived container attribute grows on the scale-hot path "
+        "(per packet/tick) and no method of its class ever shrinks or "
+        "replaces it; at 1024+ endpoints that state grows without bound"
+    )
+    rationale = (
+        "The scale sweep (ROADMAP item 2) runs 512-4096 endpoints with "
+        "flow churn: any per-event append into state that only ever "
+        "grows turns a constant-memory simulation into a linear one, "
+        "and the heavy-traffic regimes the paper cares about (rho -> 1) "
+        "are exactly where event counts explode.  The rule fires when a "
+        "container built in `__init__` has a grow site reachable from "
+        "the hot-path modules or a self-re-arming scheduled callback, "
+        "and *no* method anywhere in the class pops, clears, discards "
+        "or rebinds it.  Give the container an eviction policy, a "
+        "bounded deque, or an explicit close/reset path."
+    )
+    example_bad = (
+        "class Telemetry:\n"
+        "    def __init__(self):\n"
+        "        self.samples = []\n"
+        "    def _tick(self, engine):       # re-arms itself forever\n"
+        "        self.samples.append(engine.now)\n"
+        "        engine.after(PERIOD, self._tick)\n"
+    )
+    example_good = (
+        "class Telemetry:\n"
+        "    def __init__(self, capacity):\n"
+        "        self.samples = deque(maxlen=capacity)  # bounded\n"
+        "    def _tick(self, engine):\n"
+        "        self.samples.append(engine.now)\n"
+        "        engine.after(PERIOD, self._tick)\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        analysis: ScaleAnalysis = analyze_scale(model, graph)
+        for lifecycle in analysis.classes():
+            for attr in sorted(lifecycle.attrs):
+                cycle = lifecycle.attrs[attr]
+                if cycle.kind is None or cycle.bounded:
+                    continue
+                if not _never_shrinks(cycle):
+                    continue
+                hot_grows = [
+                    (qualname, op)
+                    for qualname, op in cycle.grows
+                    if op.get("method") in _UNKEYED_GROW_METHODS
+                    and analysis.is_scale_hot(lifecycle.module, qualname)
+                ]
+                if not hot_grows:
+                    continue
+                qualname, op = min(hot_grows, key=lambda pair: _site(pair[1]))
+                witness = analysis.reachable[(lifecycle.module, qualname)]
+                witness_summary = model.modules.get(witness[0])
+                witness_path = (
+                    witness_summary.path
+                    if witness_summary
+                    else lifecycle.summary.path
+                )
+                line, col = _site(op)
+                yield self._violation(
+                    lifecycle.summary.path,
+                    line,
+                    col,
+                    f"`self.{attr}` ({cycle.kind}) grows via "
+                    f"`.{op['method']}` in scale-hot `{qualname}` "
+                    f"(reached from `{witness[1]}`) and no method of "
+                    f"`{lifecycle.name}` ever shrinks or rebinds it; "
+                    "bound it (deque maxlen / eviction) or add a "
+                    "shrink path",
+                    (lifecycle.summary.path, witness_path),
+                )
+
+
+@register_project_rule
+class LinearMembershipHotRule(ProjectRule):
+    id = "SIM502"
+    name = "linear-membership-hot"
+    description = (
+        "`x in <list attr>` / `.index()` / `.count()` / `.remove()` on "
+        "list-typed state in a scale-hot method is an O(n) scan per "
+        "event; use a set (or dict) index"
+    )
+    rationale = (
+        "A membership probe on a Python list walks it element by "
+        "element: at 128 endpoints the list is short and the scan is "
+        "invisible, at 4096 endpoints with deep VOQs it is the hot "
+        "loop.  When the class only ever appends and probes, the "
+        "machine fix swaps the `[]` for a `set()` and every `.append` "
+        "for `.add` -- O(1) membership with identical semantics.  When "
+        "the list also orders or indexes, keep the list but maintain a "
+        "side set for the probes."
+    )
+    example_bad = (
+        "class Dedup:\n"
+        "    def __init__(self):\n"
+        "        self._seen = []\n"
+        "    def accept(self, pkt):      # hot: called per packet\n"
+        "        if pkt.uid in self._seen:   # O(n) scan\n"
+        "            return\n"
+        "        self._seen.append(pkt.uid)\n"
+    )
+    example_good = (
+        "class Dedup:\n"
+        "    def __init__(self):\n"
+        "        self._seen = set()\n"
+        "    def accept(self, pkt):\n"
+        "        if pkt.uid in self._seen:   # O(1) probe\n"
+        "            return\n"
+        "        self._seen.add(pkt.uid)\n"
+    )
+
+    #: Ops compatible with the list->set rewrite.
+    _FIX_GROWS = frozenset({"append", "add"})
+    _LINEAR = frozenset({"in", "index", "count", "remove"})
+
+    def _set_fix(
+        self, lifecycle: ClassLifecycle, cycle: AttrLifecycle
+    ) -> Optional[Dict[str, Any]]:
+        """The list->set rewrite, offered only when every class-wide op
+        is an append or a membership probe on an initially-empty list
+        (ordering, indexing, iteration or escaping would change
+        behaviour under the swap)."""
+        if not cycle.info.get("empty") or cycle.info.get("value_span") is None:
+            return None
+        if (
+            cycle.rebuilds
+            or cycle.rebinds
+            or cycle.iterates
+            or cycle.reads
+            or cycle.escapes
+            or cycle.others
+        ):
+            return None
+        if any(op.get("method") == "remove" for _, op in cycle.shrinks):
+            pass  # .remove works on sets too (and becomes O(1))
+        elif cycle.shrinks:
+            return None
+        if not all(
+            op.get("method") in self._FIX_GROWS and op.get("func_span")
+            for _, op in cycle.grows
+        ):
+            return None
+        if not all(
+            op.get("method") in ("in", "remove") or op.get("func_span")
+            for _, op in cycle.members + cycle.shrinks
+        ):
+            return None
+        span = cycle.info["value_span"]
+        edits = [
+            {
+                "start_line": int(span[0]),
+                "start_col": int(span[1]),
+                "end_line": int(span[2]),
+                "end_col": int(span[3]),
+                "replacement": "set()",
+            }
+        ]
+        for _, op in cycle.grows:
+            if op.get("method") == "add":
+                continue
+            func_span = op["func_span"]
+            recv = op.get("recv_src") or f"self.{cycle.attr}"
+            edits.append(
+                {
+                    "start_line": int(func_span[0]),
+                    "start_col": int(func_span[1]),
+                    "end_line": int(func_span[2]),
+                    "end_col": int(func_span[3]),
+                    "replacement": f"{recv}.add",
+                }
+            )
+        return {
+            "kind": "list-to-set",
+            "path": lifecycle.summary.path,
+            "description": (
+                f"rewrite `self.{cycle.attr}` to a set: `[]` -> `set()`"
+                " and `.append` -> `.add`"
+            ),
+            "edits": edits,
+        }
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        analysis: ScaleAnalysis = analyze_scale(model, graph)
+        for lifecycle in analysis.classes():
+            for attr in sorted(lifecycle.attrs):
+                cycle = lifecycle.attrs[attr]
+                if cycle.kind != "list":
+                    continue
+                linear_sites = [
+                    (qualname, op)
+                    for qualname, op in cycle.members + cycle.shrinks
+                    if op.get("method") in self._LINEAR
+                    and analysis.is_scale_hot(lifecycle.module, qualname)
+                ]
+                if not linear_sites:
+                    continue
+                fix = self._set_fix(lifecycle, cycle)
+                for qualname, op in sorted(linear_sites, key=lambda p: _site(p[1])):
+                    line, col = _site(op)
+                    probe = (
+                        "membership probe"
+                        if op["method"] == "in"
+                        else f"`.{op['method']}()`"
+                    )
+                    yield self._violation(
+                        lifecycle.summary.path,
+                        line,
+                        col,
+                        f"{probe} on list `self.{attr}` in scale-hot "
+                        f"`{qualname}` scans O(n) per event; keep a set "
+                        "index for membership",
+                        (lifecycle.summary.path,),
+                        fix=fix,
+                    )
+                    fix = None  # one fix application covers every site
+
+
+@register_project_rule
+class PoolLeakRule(ProjectRule):
+    id = "SIM503"
+    name = "pool-leak"
+    description = (
+        "object acquired from a paired pool API (PacketFactory.mint, "
+        "at_cancellable/after_cancellable handles) is dropped without "
+        "release on at least one control-flow path"
+    )
+    rationale = (
+        "The packet pool and cancellable event handles are paired "
+        "APIs: every `mint` wants a `recycle`, every cancellable arm "
+        "wants a `cancel` (or a deliberate fire).  A handle dropped on "
+        "the floor is pool memory that never returns -- invisible at "
+        "128 endpoints, a steady leak at 4096 with churn.  The rule "
+        "tracks each acquired local per control-flow path: a release "
+        "on every path (or in a `finally`) is clean; a release behind "
+        "an `if` is conditional; handing the object onward (return, "
+        "container, callback) transfers ownership and ends the "
+        "analysis."
+    )
+    example_bad = (
+        "def probe(self, engine):\n"
+        "    handle = engine.after_cancellable(T, self._fire)\n"
+        "    if self.done:\n"
+        "        handle.cancel()      # other path leaks the handle\n"
+    )
+    example_good = (
+        "def probe(self, engine):\n"
+        "    handle = engine.after_cancellable(T, self._fire)\n"
+        "    try:\n"
+        "        ...\n"
+        "    finally:\n"
+        "        handle.cancel()\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        for summary in model.summaries():
+            for fact in summary.functions.values():
+                for flow in fact.pool_flows:
+                    if flow.get("escapes") or flow.get("released") == "always":
+                        continue
+                    if flow.get("released") == "conditional":
+                        lines = ", ".join(
+                            str(line) for line in flow.get("release_lines", ())
+                        )
+                        detail = (
+                            f"is released only on some paths (release at "
+                            f"line {lines}); move the release to a "
+                            "`finally` or cover every branch"
+                        )
+                    else:
+                        detail = (
+                            "is never released in this function and never "
+                            "handed onward; pool memory leaks once per call"
+                        )
+                    yield self._violation(
+                        summary.path,
+                        int(flow["line"]),
+                        int(flow["col"]),
+                        f"`{flow['var']}` acquired from {flow['api']} "
+                        f"`.{flow['attr']}(...)` in `{fact.qualname}` "
+                        f"{detail}",
+                        (summary.path,),
+                    )
+
+
+@register_project_rule
+class UnboundedKeyedGrowthRule(ProjectRule):
+    id = "SIM504"
+    name = "unbounded-keyed-growth"
+    description = (
+        "dict attribute keyed by a per-packet/per-flow id only ever "
+        "gains keys (no pop/del/clear anywhere in the class): under "
+        "flow churn the map grows with every id ever seen"
+    )
+    rationale = (
+        "A registry keyed by `pkt.uid` or `flow_id` whose class offers "
+        "no removal path holds every entity the run ever created.  "
+        "Unlike SIM501 this fires off the hot path too: a churn sweep "
+        "creates and abandons thousands of flows through setup code, "
+        "and the registry outlives them all.  Add a `pop`-based "
+        "close/evict API and call it when the entity retires."
+    )
+    example_bad = (
+        "class FlowRegistry:\n"
+        "    def __init__(self):\n"
+        "        self._flows = {}\n"
+        "    def create(self, spec):\n"
+        "        self._flows[spec.flow_id] = FlowState(spec)\n"
+        "        # no method ever removes an entry\n"
+    )
+    example_good = (
+        "class FlowRegistry:\n"
+        "    def __init__(self):\n"
+        "        self._flows = {}\n"
+        "    def create(self, spec):\n"
+        "        self._flows[spec.flow_id] = FlowState(spec)\n"
+        "    def close(self, flow_id):\n"
+        "        return self._flows.pop(flow_id, None)\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        analysis: ScaleAnalysis = analyze_scale(model, graph)
+        for lifecycle in analysis.classes():
+            for attr in sorted(lifecycle.attrs):
+                cycle = lifecycle.attrs[attr]
+                if cycle.kind != "dict" or cycle.bounded:
+                    continue
+                if not _never_shrinks(cycle):
+                    continue
+                keyed = [
+                    (qualname, op)
+                    for qualname, op in cycle.grows
+                    if op.get("method") in ("setitem", "setdefault")
+                    and _keyed_by_uid(op.get("key_src"))
+                ]
+                if not keyed:
+                    continue
+                qualname, op = min(keyed, key=lambda pair: _site(pair[1]))
+                line, col = _site(op)
+                yield self._violation(
+                    lifecycle.summary.path,
+                    line,
+                    col,
+                    f"dict `self.{attr}` gains key `{op['key_src']}` in "
+                    f"`{qualname}` and no method of `{lifecycle.name}` "
+                    "ever removes entries; under flow churn this holds "
+                    "every id ever seen -- add a pop/close path",
+                    (lifecycle.summary.path,),
+                )
+
+
+@register_project_rule
+class HotContainerRebuildRule(ProjectRule):
+    id = "SIM505"
+    name = "hot-container-rebuild"
+    description = (
+        "sorted()/list()/set()/.copy() over a whole state attribute "
+        "inside a loop in a scale-hot method rebuilds O(n) per "
+        "iteration; hoist it, or maintain the derived structure "
+        "incrementally"
+    )
+    rationale = (
+        "`sorted(self.queue)` inside a per-event loop is O(n log n) "
+        "*per event*: the event rate times the container size is "
+        "exactly the product the scale sweep maximises.  Either the "
+        "rebuild is loop-invariant (hoist it above the loop) or the "
+        "code wants an incrementally-maintained structure (a heap, an "
+        "insertion-sorted list, a running copy)."
+    )
+    example_bad = (
+        "def drain(self):            # hot: per event\n"
+        "    for slot in self.slots:\n"
+        "        order = sorted(self.pending)   # O(n log n) per slot\n"
+        "        ...\n"
+    )
+    example_good = (
+        "def drain(self):\n"
+        "    order = sorted(self.pending)       # once per drain\n"
+        "    for slot in self.slots:\n"
+        "        ...\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        analysis: ScaleAnalysis = analyze_scale(model, graph)
+        for lifecycle in analysis.classes():
+            for attr in sorted(lifecycle.attrs):
+                cycle = lifecycle.attrs[attr]
+                for qualname, op in sorted(
+                    cycle.rebuilds, key=lambda pair: _site(pair[1])
+                ):
+                    if not op.get("in_loop"):
+                        continue
+                    if not analysis.is_scale_hot(lifecycle.module, qualname):
+                        continue
+                    line, col = _site(op)
+                    yield self._violation(
+                        lifecycle.summary.path,
+                        line,
+                        col,
+                        f"`{op['method']}(self.{attr})` rebuilds the "
+                        f"whole container inside a loop in scale-hot "
+                        f"`{qualname}`; hoist it out of the loop or "
+                        "maintain it incrementally",
+                        (lifecycle.summary.path,),
+                    )
+
+
+@register_project_rule
+class LoopClosureRetentionRule(ProjectRule):
+    id = "SIM506"
+    name = "loop-closure-retention"
+    description = (
+        "callback handed to engine.at/after captures a whole local "
+        "container; the closure keeps it alive until the callback "
+        "fires, long past the scope that built it"
+    )
+    rationale = (
+        "A scheduled closure holds strong references to its free "
+        "variables until the engine fires (or drops) it.  Capturing a "
+        "batch list or staging dict keeps the entire container -- and "
+        "everything in it -- alive across simulated time, which at "
+        "scale means thousands of dead batches pinned by pending "
+        "events.  Bind the container as a default argument (evaluated "
+        "once, releasable when the callback object dies) or pass the "
+        "specific fields the callback needs."
+    )
+    example_bad = (
+        "def flush_later(self, engine):\n"
+        "    batch = self.drain()\n"
+        "    engine.after(DELAY, lambda: self.commit(batch))\n"
+        "    # `batch` pinned until the callback fires\n"
+    )
+    example_good = (
+        "def flush_later(self, engine):\n"
+        "    batch = self.drain()\n"
+        "    engine.after(DELAY, lambda batch=batch: self.commit(batch))\n"
+    )
+
+    def check(self, model: ProjectModel, graph: CallGraph) -> Iterator[Violation]:
+        for summary in model.summaries():
+            for fact in summary.functions.values():
+                for rec in fact.closure_retentions:
+                    names = ", ".join(f"`{v}`" for v in rec["vars"])
+                    fix = _span_fix(
+                        "bind-retained-container",
+                        summary.path,
+                        f"bind {names} by default argument in the callback",
+                        rec.get("fix"),
+                    )
+                    callee = (
+                        "lambda"
+                        if rec["kind"] == "lambda"
+                        else f"`{rec['callee']}`"
+                    )
+                    yield self._violation(
+                        summary.path,
+                        int(rec["line"]),
+                        int(rec["col"]),
+                        f"{callee} passed to `.{rec['attr']}(...)` in "
+                        f"`{fact.qualname}` captures container(s) "
+                        f"{names}; the pending event pins the whole "
+                        "container -- bind it as a default argument or "
+                        "pass the needed fields",
+                        (summary.path,),
+                        fix=fix,
+                    )

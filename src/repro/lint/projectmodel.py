@@ -201,14 +201,128 @@ def _collect_symbols(tree: ast.Module) -> Dict[str, str]:
     return symbols
 
 
-def _collect_classes(tree: ast.Module) -> Dict[str, Dict[str, Any]]:
-    """Layout facts per top-level class (SIM302's raw material)."""
+#: ``__init__`` constructor tails that build a long-lived container,
+#: mapped to the container kind the SIM5xx lifecycle rules reason about.
+_CONTAINER_CTOR_KINDS = {
+    "list": "list",
+    "dict": "dict",
+    "set": "set",
+    "deque": "deque",
+    "defaultdict": "dict",
+    "OrderedDict": "dict",
+    "Counter": "dict",
+}
+
+
+def _container_fact(
+    value: ast.expr,
+    bindings: Mapping[str, str],
+    module_name: str,
+    symbols: Mapping[str, str],
+) -> Optional[Dict[str, Any]]:
+    """Container kind/origin for one ``self.X = value`` in ``__init__``.
+
+    Literal displays and builtin constructors yield a *kind* (``list``
+    / ``dict`` / ``set`` / ``deque``); a CamelCase constructor call
+    yields an *origin* -- the absolute dotted name of the constructed
+    class, resolved through the import bindings -- so the lifecycle
+    layer can synthesise ``self.X.method()`` dispatch edges.  A
+    ``deque(maxlen=...)`` is *bounded*: it can never be unbounded
+    growth, whatever its grow/shrink balance looks like.
+    """
+    span = [
+        value.lineno,
+        value.col_offset,
+        value.end_lineno,
+        value.end_col_offset,
+    ]
+    if isinstance(value, (ast.List, ast.ListComp)):
+        empty = isinstance(value, ast.List) and not value.elts
+        return {
+            "kind": "list",
+            "origin": None,
+            "value_span": span,
+            "bounded": False,
+            "empty": empty,
+        }
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        empty = isinstance(value, ast.Dict) and not value.keys
+        return {
+            "kind": "dict",
+            "origin": None,
+            "value_span": span,
+            "bounded": False,
+            "empty": empty,
+        }
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return {
+            "kind": "set",
+            "origin": None,
+            "value_span": span,
+            "bounded": False,
+            "empty": False,
+        }
+    if not isinstance(value, ast.Call):
+        return None
+    dotted = dotted_name(value.func)
+    if not dotted:
+        return None
+    tail = dotted.rsplit(".", 1)[-1]
+    kind = _CONTAINER_CTOR_KINDS.get(tail)
+    if kind is not None:
+        bounded = False
+        if tail == "deque":
+            has_maxlen = any(
+                kw.arg == "maxlen"
+                and not (
+                    isinstance(kw.value, ast.Constant) and kw.value.value is None
+                )
+                for kw in value.keywords
+            )
+            bounded = has_maxlen or len(value.args) >= 2
+        return {
+            "kind": kind,
+            "origin": None,
+            "value_span": span,
+            "bounded": bounded,
+            "empty": not value.args and not value.keywords,
+        }
+    if not tail[:1].isupper():
+        return None
+    # CamelCase constructor: resolve to an absolute dotted origin.
+    head, _, rest = dotted.partition(".")
+    if head in bindings:
+        origin = bindings[head] + ("." + rest if rest else "")
+    elif head in symbols:
+        origin = f"{module_name}.{dotted}" if module_name else dotted
+    else:
+        return None
+    return {
+        "kind": None,
+        "origin": origin,
+        "value_span": span,
+        "bounded": False,
+        "empty": False,
+    }
+
+
+def _collect_classes(
+    tree: ast.Module,
+    bindings: Optional[Mapping[str, str]] = None,
+    module_name: str = "",
+    symbols: Optional[Mapping[str, str]] = None,
+) -> Dict[str, Dict[str, Any]]:
+    """Layout facts per top-level class (SIM302's raw material), plus
+    the ``containers`` map the SIM5xx lifecycle rules start from."""
+    bindings = bindings or {}
+    symbols = symbols or {}
     out: Dict[str, Dict[str, Any]] = {}
     for stmt in tree.body:
         if not isinstance(stmt, ast.ClassDef):
             continue
         has_slots = False
         init_attrs: List[str] = []
+        containers: Dict[str, Dict[str, Any]] = {}
         for item in stmt.body:
             targets: List[ast.expr] = []
             if isinstance(item, ast.Assign):
@@ -233,6 +347,24 @@ def _collect_classes(tree: ast.Module) -> Dict[str, Dict[str, Any]]:
                     ):
                         seen.setdefault(node.attr)
                 init_attrs = list(seen)
+                for node in ast.walk(item):
+                    value: Optional[ast.expr] = None
+                    target: Optional[ast.expr] = None
+                    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                        target, value = node.targets[0], node.value
+                    elif isinstance(node, ast.AnnAssign):
+                        target, value = node.target, node.value
+                    if (
+                        value is None
+                        or not isinstance(target, ast.Attribute)
+                        or not isinstance(target.value, ast.Name)
+                        or target.value.id != "self"
+                    ):
+                        continue
+                    fact = _container_fact(value, bindings, module_name, symbols)
+                    if fact is not None:
+                        fact["line"] = node.lineno
+                        containers.setdefault(target.attr, fact)
         # Where a synthesised `__slots__` line goes: before the first
         # statement after the docstring, at that statement's indent.
         body = stmt.body
@@ -258,6 +390,7 @@ def _collect_classes(tree: ast.Module) -> Dict[str, Dict[str, Any]]:
             "init_attrs": init_attrs,
             "insert_line": insert_line,
             "indent": indent,
+            "containers": containers,
         }
     return out
 
@@ -389,7 +522,7 @@ def extract_summary(source: str, path: str, *, tree: Optional[ast.Module] = None
         is_package=is_package,
         exports=_collect_exports(tree),
         symbols=symbols,
-        classes=_collect_classes(tree),
+        classes=_collect_classes(tree, bindings, module_name, symbols),
         bindings=bindings,
         mutable_globals=_collect_mutable_globals(tree),
         star_imports=star_imports,

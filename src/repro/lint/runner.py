@@ -247,6 +247,7 @@ def lint_project(
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
     profile: Optional[PathLike] = None,
+    memprofile: Optional[PathLike] = None,
 ) -> Tuple[List[Violation], Dict[str, Any]]:
     """Whole-program lint: per-file SIM0xx rules *plus* the
     interprocedural SIM1xx rules over the project model.
@@ -264,17 +265,26 @@ def lint_project(
     ``profile`` names a cProfile/pstats dump; when given, SIM3xx
     findings are ranked by measured cumulative time (hot/warm/cold
     buckets on :attr:`Violation.profile`) and ``stats`` gains a
-    ``"profile"`` block.  Raises :class:`FileNotFoundError` /
-    :class:`ValueError` for a missing / unreadable dump.
+    ``"profile"`` block.  ``memprofile`` names a ``repro-qos profile
+    mem`` tracemalloc dump and ranks the SIM5xx family by measured
+    bytes the same way (a ``"memprofile"`` stats block); the families
+    are disjoint so both rankings may run together.  Raises
+    :class:`FileNotFoundError` / :class:`ValueError` for a missing /
+    unreadable dump.
     """
     from repro.lint.cache import SummaryCache, hash_source, rules_digest
     from repro.lint.callgraph import CallGraph
-    from repro.lint.hotpath import ProfileIndex, annotate_profile
+    from repro.lint.hotpath import (
+        MemProfileIndex,
+        ProfileIndex,
+        annotate_memprofile,
+        annotate_profile,
+    )
     from repro.lint.project_rules import PROJECT_RULES
     from repro.lint.projectmodel import ModuleSummary, ProjectModel, extract_summary
 
     selected = resolve_rule_filter(select, ignore)
-    # Load before the scan so a bad --profile argument fails fast.
+    # Load before the scan so a bad --profile/--memprofile fails fast.
     index: Optional[ProfileIndex] = None
     profile_digest = ""
     if profile is not None:
@@ -282,6 +292,15 @@ def lint_project(
         profile_digest = hashlib.sha256(
             Path(profile).read_bytes()
         ).hexdigest()[:16]
+    mem_index: Optional[MemProfileIndex] = None
+    if memprofile is not None:
+        mem_index = MemProfileIndex.load(memprofile)
+        mem_digest = hashlib.sha256(
+            Path(memprofile).read_bytes()
+        ).hexdigest()[:16]
+        profile_digest = (
+            profile_digest + "\x00" + mem_digest if profile_digest else mem_digest
+        )
     cache = SummaryCache(cache_dir)
     model = ProjectModel()
     live_keys = set()
@@ -351,4 +370,8 @@ def lint_project(
     ordered = sorted(violations)
     if index is not None:
         ordered, stats["profile"] = annotate_profile(ordered, model, index)
+    if mem_index is not None:
+        ordered, stats["memprofile"] = annotate_memprofile(
+            ordered, model, mem_index
+        )
     return ordered, stats

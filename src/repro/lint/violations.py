@@ -8,6 +8,16 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Union
 __all__ = ["Violation"]
 
 
+def _format_bytes(count: Any) -> str:
+    """Human-scale byte count for the text output (1.2 MB, 340.0 KB)."""
+    value = float(count or 0)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024.0 or unit == "GB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    return f"{value:.1f} GB"  # pragma: no cover - loop always returns
+
+
 @dataclass(frozen=True, order=True)
 class Violation:
     """One rule violation.  Field order gives the natural sort:
@@ -43,12 +53,16 @@ class Violation:
     def format(self) -> str:
         """``path:line:col: SIM001 [global-random] message`` -- the text
         output format, clickable in editors and CI logs.  Profile-ranked
-        findings carry their bucket (and measured seconds when hot)."""
+        findings carry their bucket (and the measured seconds or
+        allocated bytes when hot)."""
         marker = ""
         if self.profile is not None:
             bucket = self.profile.get("bucket", "")
             if bucket == "hot":
-                marker = f"hot ({self.profile.get('cum_seconds', 0.0)}s): "
+                if "alloc_bytes" in self.profile:
+                    marker = f"hot ({_format_bytes(self.profile['alloc_bytes'])}): "
+                else:
+                    marker = f"hot ({self.profile.get('cum_seconds', 0.0)}s): "
             elif bucket == "cold":
                 marker = "note: "
         text = (

@@ -97,6 +97,11 @@ class RunTelemetry:
     3
     """
 
+    #: Default heartbeat-row bound: keep-newest, so a runaway horizon (or
+    #: a scale run with a tiny heartbeat) cannot grow the log without
+    #: limit.  65536 rows cover any paper-scale run without eviction.
+    TIMESERIES_CAPACITY = 65536
+
     def __init__(
         self,
         engine,
@@ -105,6 +110,7 @@ class RunTelemetry:
         metrics=NULL_METRICS,
         live: bool = False,
         stream=None,
+        timeseries_capacity: Optional[int] = TIMESERIES_CAPACITY,
     ):
         if heartbeat_ns <= 0:
             raise ValueError(f"heartbeat must be positive, got {heartbeat_ns}")
@@ -113,7 +119,7 @@ class RunTelemetry:
         self.metrics = metrics
         self.live = live
         self.stream = stream if stream is not None else sys.stderr
-        self.timeseries = GaugeTimeSeries()
+        self.timeseries = GaugeTimeSeries(capacity=timeseries_capacity)
         self.ticks = 0
         self._samplers: List[Sampler] = []
         self._after_tick: List[Callable[[], None]] = []

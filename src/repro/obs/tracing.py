@@ -372,7 +372,10 @@ class PacketTracer:
         if self.policy == "head":
             stream = self._streams.get(pkt.flow_id)
             if stream is None:
-                stream = self._streams[pkt.flow_id] = RandomStream(
+                # Evicting a stream would reset its draw position and
+                # perturb that flow's sampling; determinism requires one
+                # live stream per flow ever sampled.
+                stream = self._streams[pkt.flow_id] = RandomStream(  # simlint: allow-unbounded-keyed-growth
                     derive_seed(self.seed, f"obs.tracing.flow{pkt.flow_id}")
                 )
             if stream.random() >= self.rate:

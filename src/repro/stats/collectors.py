@@ -101,6 +101,15 @@ class ClassStats:
             self.jitter.add(abs(latency - previous))
         self._last_message_latency[flow_id] = latency
 
+    def forget_flow(self, flow_id: int) -> None:
+        """Drop the per-flow jitter anchor for a closed flow.
+
+        Pairs with :meth:`repro.core.flow.FlowRegistry.close`: churny
+        scale runs retire flows as they finish, keeping this map
+        O(live flows) instead of O(flows ever seen).
+        """
+        self._last_message_latency.pop(flow_id, None)
+
     # ------------------------------------------------------------------
     def packet_cdf(self) -> EmpiricalCDF:
         return EmpiricalCDF(self.packet_reservoir.items)

@@ -69,7 +69,9 @@ class PerFlowCollector:
             return
         stats = self.flows.get(pkt.flow_id)
         if stats is None:
-            stats = self.flows[pkt.flow_id] = FlowStats(
+            # Per-flow stats ARE the report: every flow's row must
+            # survive to the end of the run, so retention is the point.
+            stats = self.flows[pkt.flow_id] = FlowStats(  # simlint: allow-unbounded-keyed-growth
                 pkt.flow_id, pkt.tclass, pkt.src, pkt.dst
             )
         stats.observe(pkt, now)

@@ -12,7 +12,8 @@ and a latency accumulator.  Memory is O(horizon / bucket).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.network.packet import Packet
 from repro.stats.running import RunningStats
@@ -38,12 +39,26 @@ class GaugeTimeSeries:
     telemetry timer, not by deliveries, so rows are evenly spaced even
     through dead air (which is exactly when a stalled fabric is most
     interesting to look at).
+
+    ``capacity`` bounds the row count: once full, each new row evicts
+    the oldest (keep-newest, matching the trace ring's semantics) and
+    increments :attr:`dropped`.  The default is unbounded for
+    short-horizon runs; long-horizon/scale runs should set it so the
+    heartbeat log stays O(capacity) instead of O(run length).
     """
 
-    def __init__(self) -> None:
-        self.samples: List[Tuple[int, Dict[str, float]]] = []
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self.samples: Deque[Tuple[int, Dict[str, float]]] = deque(
+            maxlen=capacity
+        )
 
     def append(self, t_ns: int, values: Dict[str, float]) -> None:
+        if self.capacity is not None and len(self.samples) == self.capacity:
+            self.dropped += 1
         self.samples.append((t_ns, dict(values)))
 
     def __len__(self) -> int:
@@ -71,7 +86,9 @@ class GaugeTimeSeries:
             "samples": [
                 {"t_ns": t, "values": dict(sorted(row.items()))}
                 for t, row in self.samples
-            ]
+            ],
+            "capacity": self.capacity,
+            "dropped": self.dropped,
         }
 
 

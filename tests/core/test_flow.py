@@ -53,6 +53,24 @@ class TestFlowRegistry:
         assert reg.get(a.spec.flow_id) is a
         assert len(reg) == 2
 
+    def test_close_releases_flow_state(self):
+        reg = FlowRegistry()
+        flow = reg.create(src=0, dst=1, tclass="x", bw_bytes_per_ns=1.0)
+        keep = reg.create(src=1, dst=2, tclass="x", bw_bytes_per_ns=1.0)
+        closed = reg.close(flow.spec.flow_id)
+        assert closed is flow
+        assert len(reg) == 1
+        assert reg.get(keep.spec.flow_id) is keep
+        with pytest.raises(KeyError):
+            reg.get(flow.spec.flow_id)
+
+    def test_close_never_recycles_flow_ids(self):
+        reg = FlowRegistry()
+        first = reg.create(src=0, dst=1, tclass="x", bw_bytes_per_ns=1.0)
+        reg.close(first.spec.flow_id)
+        reopened = reg.create(src=0, dst=1, tclass="x", bw_bytes_per_ns=1.0)
+        assert reopened.spec.flow_id > first.spec.flow_id
+
     def test_by_host(self):
         reg = FlowRegistry()
         reg.create(src=0, dst=1, tclass="x", bw_bytes_per_ns=1.0)

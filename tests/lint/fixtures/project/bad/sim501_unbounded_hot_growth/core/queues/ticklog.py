@@ -1,0 +1,11 @@
+"""Hot-path tick log whose sample list only ever grows."""
+
+
+class TickLog:
+    __slots__ = ("samples",)
+
+    def __init__(self):
+        self.samples = []
+
+    def on_tick(self, now_ns):
+        self.samples.append(now_ns)

@@ -1,0 +1,18 @@
+"""Cancellable-handle discipline: acquisitions that never release."""
+
+
+class Prober:
+    def __init__(self, engine):
+        self.engine = engine
+
+    def arm_and_forget(self):
+        handle = self.engine.after_cancellable(1000, self._fire)
+        return None
+
+    def arm_half_released(self, done):
+        handle = self.engine.after_cancellable(2000, self._fire)
+        if done:
+            handle.cancel()
+
+    def _fire(self):
+        pass

@@ -1,0 +1,12 @@
+"""Flow registry that only ever gains keys."""
+
+
+class FlowTable:
+    def __init__(self):
+        self._flows = {}
+
+    def open_flow(self, flow_id, state):
+        self._flows[flow_id] = state
+
+    def lookup(self, flow_id):
+        return self._flows.get(flow_id)

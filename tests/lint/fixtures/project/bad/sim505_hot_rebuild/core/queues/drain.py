@@ -1,0 +1,23 @@
+"""Hot-path drain that re-sorts its whole backlog once per slot."""
+
+
+class SlotDrain:
+    __slots__ = ("_backlog", "_slots")
+
+    def __init__(self):
+        self._backlog = []
+        self._slots = []
+
+    def push(self, item):
+        self._backlog.append(item)
+
+    def reset(self):
+        self._backlog = []
+
+    def drain(self):
+        total = 0
+        for slot in self._slots:
+            order = sorted(self._backlog)
+            if order:
+                total += order[0] + slot
+        return total

@@ -1,0 +1,21 @@
+"""Scheduled callbacks pinning whole staging containers."""
+
+
+class Flusher:
+    def __init__(self, engine):
+        self.engine = engine
+
+    def flush_later(self, items):
+        batch = list(items)
+        self.engine.after(1000, lambda: self.commit(batch))
+
+    def flush_named(self, items):
+        staged = list(items)
+
+        def run():
+            self.commit(staged)
+
+        self.engine.after(2000, run)
+
+    def commit(self, batch):
+        return len(batch)

@@ -1,0 +1,28 @@
+"""Bounded or drainable tick logs: growth always has an exit."""
+
+from collections import deque
+
+
+class BoundedTickLog:
+    __slots__ = ("samples",)
+
+    def __init__(self, capacity):
+        self.samples = deque(maxlen=capacity)
+
+    def on_tick(self, now_ns):
+        self.samples.append(now_ns)
+
+
+class DrainedTickLog:
+    __slots__ = ("samples",)
+
+    def __init__(self):
+        self.samples = []
+
+    def on_tick(self, now_ns):
+        self.samples.append(now_ns)
+
+    def drain(self):
+        out = self.samples
+        self.samples = []
+        return out

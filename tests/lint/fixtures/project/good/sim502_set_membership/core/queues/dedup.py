@@ -1,0 +1,17 @@
+"""Hot-path membership index backed by a set: O(1) per probe."""
+
+
+class MemberIndex:
+    __slots__ = ("_live",)
+
+    def __init__(self):
+        self._live = set()
+
+    def admit(self, uid):
+        if uid in self._live:
+            return False
+        self._live.add(uid)
+        return True
+
+    def retire(self, uid):
+        self._live.discard(uid)

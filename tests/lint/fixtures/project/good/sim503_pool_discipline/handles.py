@@ -1,0 +1,25 @@
+"""Cancellable-handle discipline: every acquire released or owned."""
+
+
+class Prober:
+    def __init__(self, engine):
+        self.engine = engine
+        self._armed = []
+
+    def arm_tracked(self):
+        handle = self.engine.after_cancellable(1000, self._fire)
+        self._armed.append(handle)
+
+    def arm_scoped(self):
+        handle = self.engine.after_cancellable(2000, self._fire)
+        try:
+            self._fire()
+        finally:
+            handle.cancel()
+
+    def cancel_all(self):
+        while self._armed:
+            self._armed.pop().cancel()
+
+    def _fire(self):
+        pass

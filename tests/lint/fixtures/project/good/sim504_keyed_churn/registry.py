@@ -1,0 +1,15 @@
+"""Flow registry with a close path: churn cannot accumulate."""
+
+
+class FlowTable:
+    def __init__(self):
+        self._flows = {}
+
+    def open_flow(self, flow_id, state):
+        self._flows[flow_id] = state
+
+    def lookup(self, flow_id):
+        return self._flows.get(flow_id)
+
+    def close_flow(self, flow_id):
+        return self._flows.pop(flow_id, None)

@@ -1,0 +1,13 @@
+"""Scheduled callbacks binding their containers at definition time."""
+
+
+class Flusher:
+    def __init__(self, engine):
+        self.engine = engine
+
+    def flush_later(self, items):
+        batch = list(items)
+        self.engine.after(1000, lambda batch=batch: self.commit(batch))
+
+    def commit(self, batch):
+        return len(batch)

@@ -40,6 +40,28 @@ def test_rules_digest_covers_the_sim3xx_family():
     assert len(rules_digest()) == 16
 
 
+def test_schema_v5_cache_entries_are_invalidated(tmp_path):
+    """Warm entries written under schema v5 (no container-lifecycle
+    facts) must not replay once the v6 reader is in charge."""
+    import json
+
+    from repro.lint.cache import CACHE_FILE_NAME, CACHE_SCHEMA_VERSION
+
+    assert CACHE_SCHEMA_VERSION == 6  # SIM5xx scale facts
+    cache_dir = tmp_path / "cache"
+    _, cold = lint_project([TARGET], cache_dir=cache_dir)
+    assert cold["misses"] == cold["files"] > 0
+
+    cache_file = cache_dir / CACHE_FILE_NAME
+    payload = json.loads(cache_file.read_text(encoding="utf-8"))
+    assert payload["schema"] == CACHE_SCHEMA_VERSION
+    payload["schema"] = 5  # as the previous release would have written
+    cache_file.write_text(json.dumps(payload), encoding="utf-8")
+
+    _, rerun = lint_project([TARGET], cache_dir=cache_dir)
+    assert (rerun["hits"], rerun["misses"]) == (0, rerun["files"])
+
+
 def test_profile_content_hash_is_part_of_the_cache_key(tmp_path):
     cache_dir = tmp_path / "cache"
     dump_a = _make_dump(tmp_path / "a.pstats", "a")

@@ -69,6 +69,26 @@ class TestPacketFactory:
         assert factory.pooled == 0
         assert _mint(factory) is not pkt
 
+    def test_free_list_is_conserved_across_mint_recycle_cycles(self):
+        # The SIM503 lint discipline (every mint paired with a recycle)
+        # has this runtime counterpart: recycling everything that was
+        # minted returns every storage object to the free list, and a
+        # second generation reuses exactly those objects -- the pool
+        # neither leaks storage nor invents new allocations.
+        factory = PacketFactory(pooling=True)
+        first_gen = [_mint(factory) for _ in range(8)]
+        storage = {id(p) for p in first_gen}
+        for pkt in first_gen:
+            factory.recycle(pkt)
+        assert factory.pooled == 8
+        second_gen = [_mint(factory) for _ in range(8)]
+        assert factory.pooled == 0
+        assert {id(p) for p in second_gen} == storage
+        for pkt in second_gen:
+            factory.recycle(pkt)
+        assert factory.pooled == 8  # conserved, not grown
+        assert factory.uids_minted == 16  # uids stay per-logical-packet
+
     def test_explicit_uid_bypasses_global_counter(self):
         pkt = mkpkt(1)
         explicit = Packet(

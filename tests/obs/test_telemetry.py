@@ -44,8 +44,27 @@ class TestGaugeTimeSeries:
         ts = GaugeTimeSeries()
         ts.append(5, {"z.z.z_x": 1.0, "a.a.a_x": 2.0})
         doc = ts.to_dict()
-        assert doc == {"samples": [{"t_ns": 5, "values": {"a.a.a_x": 2.0, "z.z.z_x": 1.0}}]}
+        assert doc == {
+            "samples": [{"t_ns": 5, "values": {"a.a.a_x": 2.0, "z.z.z_x": 1.0}}],
+            "capacity": None,
+            "dropped": 0,
+        }
         assert list(doc["samples"][0]["values"]) == ["a.a.a_x", "z.z.z_x"]
+
+    def test_capacity_keeps_newest_and_counts_drops(self):
+        ts = GaugeTimeSeries(capacity=3)
+        for t in range(5):
+            ts.append(t * 10, {"g.g.g_x": float(t)})
+        assert len(ts) == 3
+        assert [t for t, _ in ts.samples] == [20, 30, 40]
+        assert ts.dropped == 2
+        doc = ts.to_dict()
+        assert doc["capacity"] == 3
+        assert doc["dropped"] == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            GaugeTimeSeries(capacity=0)
 
 
 class TestRunTelemetry:

@@ -65,6 +65,15 @@ class TestClassStats:
         # Different flows: no cross-flow jitter sample.
         assert stats.jitter.count == 0
 
+    def test_forget_flow_drops_the_jitter_anchor(self):
+        stats = ClassStats("x")
+        stats.record(delivered(birth=0, msg_id=0, flow_id=1), now=100)
+        stats.forget_flow(1)
+        # The next frame of flow 1 has no anchor: no jitter sample.
+        stats.record(delivered(birth=0, msg_id=1, flow_id=1), now=300)
+        assert stats.jitter.count == 0
+        stats.forget_flow(99)  # unknown flows are a no-op
+
     def test_throughput(self):
         stats = ClassStats("x")
         stats.record_throughput(delivered(size=1000))
